@@ -1,0 +1,179 @@
+package pandora_test
+
+// testing.B entry points, one per table and figure of the paper's
+// evaluation (§6). Each wraps the corresponding experiment in
+// internal/bench at Quick scale; cmd/pandora-bench runs the same code
+// at Full scale and EXPERIMENTS.md records a full run.
+//
+// These are experiment drivers, not micro-benchmarks: a single
+// "iteration" is one full experiment, and the interesting output is the
+// reported shape (printed via b.Log), not ns/op.
+
+import (
+	"testing"
+	"time"
+
+	pandora "pandora"
+	"pandora/internal/bench"
+)
+
+func runOnce(b *testing.B, fn func() (interface{ String() string }, error)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkTable1Litmus regenerates Table 1: litmus validation of the
+// fixed protocol plus detection of every seeded FORD bug.
+func BenchmarkTable1Litmus(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) { return bench.Table1(40) })
+}
+
+// BenchmarkTable2RecoveryLatency regenerates Table 2: Pandora recovery
+// latency vs outstanding coordinators, per benchmark.
+func BenchmarkTable2RecoveryLatency(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		return bench.Table2(bench.Quick(), pandora.ProtocolPandora)
+	})
+}
+
+// BenchmarkTradLogRecoveryLatency regenerates the §6.1 comparison: the
+// traditional lock-logging scheme's recovery latency (up to ~2× Pandora).
+func BenchmarkTradLogRecoveryLatency(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		return bench.Table2(bench.Quick(), pandora.ProtocolTradLog)
+	})
+}
+
+// BenchmarkBaselineScanRecovery regenerates the §6.1 baseline figure:
+// stop-the-world scan recovery, ~seconds per million keys.
+func BenchmarkBaselineScanRecovery(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		return bench.BaselineScan([]int{250_000, 1_000_000}), nil
+	})
+}
+
+// BenchmarkTradLogSteadyState regenerates §6.2.1: the traditional
+// scheme's steady-state overhead, growing with the write ratio.
+func BenchmarkTradLogSteadyState(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		return bench.SteadyStateOverhead(bench.Quick(), 200)
+	})
+}
+
+// BenchmarkFig6PILLSteadyState regenerates Figure 6: PILL vs no-PILL
+// steady-state throughput.
+func BenchmarkFig6PILLSteadyState(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) { return bench.Fig6(bench.Quick()) })
+}
+
+// BenchmarkFig7MTTF regenerates Figure 7: steady-state throughput under
+// decreasing mean time to failure.
+func BenchmarkFig7MTTF(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		s := bench.Quick()
+		return bench.Fig7(s, []time.Duration{s.Timeline / 4, s.Timeline / 8})
+	})
+}
+
+func benchFailover(b *testing.B, name string, coords int) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		return bench.Failover(bench.Quick(), name, coords)
+	})
+}
+
+// BenchmarkFig8FailoverMicro regenerates Figure 8.
+func BenchmarkFig8FailoverMicro(b *testing.B) { benchFailover(b, "micro", 0) }
+
+// BenchmarkFig9FailoverSmallBank regenerates Figure 9.
+func BenchmarkFig9FailoverSmallBank(b *testing.B) { benchFailover(b, "smallbank", 0) }
+
+// BenchmarkFig10FailoverTATP regenerates Figure 10.
+func BenchmarkFig10FailoverTATP(b *testing.B) { benchFailover(b, "tatp", 0) }
+
+// BenchmarkFig11FailoverTPCC regenerates Figure 11.
+func BenchmarkFig11FailoverTPCC(b *testing.B) { benchFailover(b, "tpcc", 0) }
+
+// BenchmarkFig12FailoverLowContention regenerates Figure 12: SmallBank
+// with half the coordinators.
+func BenchmarkFig12FailoverLowContention(b *testing.B) {
+	benchFailover(b, "smallbank", bench.Quick().Coordinators/2)
+}
+
+// BenchmarkFig13StallHot1K regenerates Figure 13: stall-path
+// sensitivity with a small hot set.
+func BenchmarkFig13StallHot1K(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		s := bench.Quick()
+		s.Timeline = 1200 * time.Millisecond
+		return bench.StallSensitivity(s, 64, s.Timeline/2)
+	})
+}
+
+// BenchmarkFig14StallHot100K regenerates Figure 14: the same with a
+// large hot set (gradual decline instead of collapse).
+func BenchmarkFig14StallHot100K(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		s := bench.Quick()
+		s.Timeline = 1200 * time.Millisecond
+		return bench.StallSensitivity(s, s.Keys, s.Timeline/2)
+	})
+}
+
+// BenchmarkDistributedFD regenerates the §6.4 distributed-FD result:
+// end-to-end recovery under 20 ms with three FD replicas. The paper's
+// 5 ms heartbeat timeout is tight for a loaded single-CPU host (Go
+// scheduler pauses can false-positive the survivor), so environmental
+// failures are retried.
+func BenchmarkDistributedFD(b *testing.B) {
+	runOnce(b, func() (interface{ String() string }, error) {
+		var lastErr error
+		for attempt := 0; attempt < 5; attempt++ {
+			r, err := bench.DistributedFD(3, 5*time.Millisecond)
+			if err == nil {
+				return r, nil
+			}
+			lastErr = err
+		}
+		return nil, lastErr
+	})
+}
+
+// BenchmarkCommitThroughput is a conventional micro-benchmark: committed
+// transactions per second on the in-process fabric (not a paper figure;
+// useful for tracking regressions in the engine itself).
+func BenchmarkCommitThroughput(b *testing.B) {
+	c, err := pandora.New(pandora.Config{
+		Tables: []pandora.TableSpec{{Name: "kv", ValueSize: 40, Capacity: 100_000}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadN("kv", 100_000, func(pandora.Key) []byte { return make([]byte, 40) }); err != nil {
+		b.Fatal(err)
+	}
+	s := c.Session(0, 0)
+	buf := make([]byte, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := pandora.Key(i % 100_000)
+		tx := s.Begin()
+		if _, err := tx.Read("kv", k); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write("kv", k, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

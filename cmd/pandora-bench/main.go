@@ -1,0 +1,155 @@
+// Command pandora-bench regenerates the paper's evaluation (§6): every
+// table and figure has an experiment id. Run them all or one at a time:
+//
+//	pandora-bench -experiment all
+//	pandora-bench -experiment table2
+//	pandora-bench -experiment fig8 -quick
+//
+// Output is plain text: one section per experiment with the series or
+// table the paper reports, plus shape notes. EXPERIMENTS.md records a
+// full run next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	pandora "pandora"
+	"pandora/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id: all, table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, scan, tradrec, tradss, distfd, persist")
+	quick := flag.Bool("quick", false, "run at CI scale instead of full scale")
+	flag.Parse()
+
+	s := bench.Full()
+	litmusIters := 150
+	steadyTx := 1500
+	if *quick {
+		s = bench.Quick()
+		litmusIters = 50
+		steadyTx = 300
+	}
+
+	ids := strings.Split(*experiment, ",")
+	if *experiment == "all" {
+		ids = []string{"table1", "table2", "tradrec", "scan", "tradss", "fig6", "fig7",
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "distfd", "persist"}
+	}
+	for _, id := range ids {
+		if err := run(id, s, litmusIters, steadyTx); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func section(id, paper string) {
+	fmt.Printf("\n===== %s (%s) =====\n", id, paper)
+}
+
+func run(id string, s bench.Scale, litmusIters, steadyTx int) error {
+	start := time.Now()
+	defer func() { fmt.Printf("[%s took %v]\n", id, time.Since(start).Round(time.Millisecond)) }()
+	switch id {
+	case "table1":
+		section(id, "Table 1: litmus validation & seeded FORD bugs")
+		r, err := bench.Table1(litmusIters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "table2":
+		section(id, "Table 2: Pandora recovery latency vs outstanding coordinators")
+		r, err := bench.Table2(s, pandora.ProtocolPandora)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "tradrec":
+		section(id, "§6.1: traditional lock-logging recovery latency")
+		r, err := bench.Table2(s, pandora.ProtocolTradLog)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "scan":
+		section(id, "§6.1: Baseline stop-the-world scan recovery")
+		fmt.Print(bench.BaselineScan([]int{250_000, 500_000, 1_000_000, 2_000_000}))
+	case "tradss":
+		section(id, "§6.2.1: traditional lock-logging steady-state overhead")
+		r, err := bench.SteadyStateOverhead(s, steadyTx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig6":
+		section(id, "Figure 6: PILL steady-state overhead")
+		r, err := bench.Fig6(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig7":
+		section(id, "Figure 7: steady-state vs MTTF")
+		// The paper's 40 s run uses MTTF 10/2/1 s; scaled to our
+		// timeline these keep the same failures-per-run ratios.
+		mttfs := []time.Duration{s.Timeline / 4, s.Timeline / 8, s.Timeline / 12}
+		r, err := bench.Fig7(s, mttfs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig8", "fig9", "fig10", "fig11", "fig12":
+		names := map[string]string{
+			"fig8": "micro", "fig9": "smallbank", "fig10": "tatp", "fig11": "tpcc", "fig12": "smallbank",
+		}
+		coords := 0
+		note := ""
+		if id == "fig12" {
+			coords = s.Coordinators / 2
+			note = " [low contention: half the coordinators]"
+		}
+		section(id, fmt.Sprintf("Fail-over throughput: %s%s", names[id], note))
+		r, err := bench.Failover(s, names[id], coords)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig13", "fig14":
+		hot := 1000
+		if id == "fig14" {
+			hot = 100_000
+		}
+		if hot > s.Keys {
+			hot = s.Keys
+		}
+		section(id, fmt.Sprintf("Stall sensitivity, hot=%d", hot))
+		r, err := bench.StallSensitivity(s, hot, s.Timeline/2)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "persist":
+		section(id, "§7 ablation: NVM persistence flush overhead")
+		r, err := bench.PersistenceOverhead(s, steadyTx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "distfd":
+		section(id, "§6.4: distributed failure detector")
+		r, err := bench.DistributedFD(3, 5*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

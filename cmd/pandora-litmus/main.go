@@ -1,0 +1,130 @@
+// Command pandora-litmus runs the end-to-end litmus validation
+// framework (§5) from the command line:
+//
+//	pandora-litmus                      # validate fixed Pandora
+//	pandora-litmus -protocol ford       # validate the fixed Baseline
+//	pandora-litmus -bug covert-locks    # seed a Table-1 bug and catch it
+//	pandora-litmus -iterations 1000     # more crash-injection coverage
+//
+// Exit status is non-zero when a fixed protocol shows violations, or
+// when a seeded bug goes undetected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pandora/internal/core"
+	"pandora/internal/litmus"
+)
+
+func main() {
+	protoName := flag.String("protocol", "pandora", "protocol: pandora, ford, tradlog")
+	bug := flag.String("bug", "", "seed a Table-1 bug: complicit-abort, missing-insert-log, covert-locks, relaxed-locks, lost-decision, log-without-lock")
+	iterations := flag.Int("iterations", 400, "iterations per litmus test")
+	seed := flag.Int64("seed", 1, "random seed")
+	noCrashes := flag.Bool("no-crashes", false, "disable crash injection (pure C1 validation)")
+	flag.Parse()
+
+	var proto core.Protocol
+	switch *protoName {
+	case "pandora":
+		proto = core.ProtocolPandora
+	case "ford":
+		proto = core.ProtocolFORD
+	case "tradlog":
+		proto = core.ProtocolTradLog
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	cfg := litmus.Config{
+		Protocol:   proto,
+		Iterations: *iterations,
+		Seed:       *seed,
+		Jitter:     true,
+		NoCrashes:  *noCrashes,
+	}
+
+	var bugs core.Bugs
+	expectViolations := false
+	tests := litmus.All()
+	if *bug != "" {
+		expectViolations = true
+		switch *bug {
+		case "complicit-abort":
+			bugs = core.Bugs{ComplicitAbort: true}
+			tests = []litmus.Test{litmus.Litmus1RMW()}
+			cfg.NoCrashes = true
+		case "missing-insert-log":
+			bugs = core.Bugs{MissingInsertLog: true}
+			cfg.Protocol = core.ProtocolFORD
+			tests = []litmus.Test{litmus.Litmus1Insert()}
+			cfg.CrashMidTx, cfg.CrashAfterTxs = 0.9, 0.01
+		case "covert-locks":
+			bugs = core.Bugs{CovertLocks: true}
+			tests = []litmus.Test{litmus.Litmus2()}
+			cfg.NoCrashes = true
+		case "relaxed-locks":
+			bugs = core.Bugs{RelaxedLocks: true}
+			tests = []litmus.Test{litmus.Litmus2()}
+			cfg.NoCrashes = true
+		case "lost-decision":
+			bugs = core.Bugs{LostDecision: true}
+			cfg.Protocol = core.ProtocolFORD
+			tests = []litmus.Test{litmus.Litmus3LostDecision()}
+			cfg.Jitter = false
+			cfg.CrashMidTx, cfg.CrashAfterTxs = 0.000001, 1.0
+		case "log-without-lock":
+			bugs = core.Bugs{LostDecision: true, LogWithoutLock: true}
+			cfg.Protocol = core.ProtocolFORD
+			tests = []litmus.Test{litmus.Litmus3LogWithoutLock()}
+			cfg.Jitter = false
+			cfg.CrashMidTx, cfg.CrashAfterTxs = 0.000001, 1.0
+		default:
+			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)
+			os.Exit(2)
+		}
+		cfg.Bugs = bugs
+	}
+
+	totalViolations := 0
+	for _, t := range tests {
+		rep, err := litmus.RunTest(t, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t.Name, err)
+			os.Exit(1)
+		}
+		status := "PASS"
+		if len(rep.Violations) > 0 {
+			status = "VIOLATIONS"
+		}
+		fmt.Printf("%-28s %-11s iters=%d crashes=%d recoveries=%d C/A/?=%d/%d/%d violations=%d\n",
+			rep.Test, status, rep.Iterations, rep.Crashes, rep.Recoveries,
+			rep.Committed, rep.Aborted, rep.Unknown, len(rep.Violations))
+		for i, v := range rep.Violations {
+			if i >= 3 {
+				fmt.Printf("    ... and %d more\n", len(rep.Violations)-3)
+				break
+			}
+			fmt.Printf("    %s\n", v)
+		}
+		totalViolations += len(rep.Violations)
+	}
+
+	if expectViolations && totalViolations == 0 {
+		fmt.Println("RESULT: seeded bug was NOT caught")
+		os.Exit(1)
+	}
+	if !expectViolations && totalViolations > 0 {
+		fmt.Println("RESULT: protocol FAILED validation")
+		os.Exit(1)
+	}
+	if expectViolations {
+		fmt.Printf("RESULT: seeded bug caught (%d violations)\n", totalViolations)
+	} else {
+		fmt.Println("RESULT: all litmus tests passed")
+	}
+}

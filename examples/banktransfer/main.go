@@ -1,0 +1,148 @@
+// Bank transfer: many concurrent coordinators move money between
+// accounts while a compute server crashes mid-run. Strict
+// serializability plus all-or-nothing recovery means the total balance
+// is conserved exactly — the invariant is checked at the end.
+//
+//	go run ./examples/banktransfer
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pandora "pandora"
+)
+
+const (
+	accounts = 200
+	initial  = 1_000
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func main() {
+	c, err := pandora.New(pandora.Config{
+		ComputeNodes:        2,
+		CoordinatorsPerNode: 4,
+		Tables:              []pandora.TableSpec{{Name: "accounts", ValueSize: 16, Capacity: accounts}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadN("accounts", accounts, func(pandora.Key) []byte { return u64(initial) }); err != nil {
+		log.Fatal(err)
+	}
+
+	var commits, aborts atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// 8 coordinators (4 per compute node) run random transfers.
+	for node := 0; node < 2; node++ {
+		for coord := 0; coord < 4; coord++ {
+			wg.Add(1)
+			go func(node, coord int) {
+				defer wg.Done()
+				s := c.Session(node, coord)
+				rng := rand.New(rand.NewSource(int64(node*10 + coord)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					from := pandora.Key(rng.Intn(accounts))
+					to := pandora.Key(rng.Intn(accounts))
+					if from == to {
+						continue
+					}
+					amount := uint64(rng.Intn(50) + 1)
+					err := transfer(s, from, to, amount)
+					switch {
+					case err == nil:
+						commits.Add(1)
+					case pandora.IsAborted(err), errors.Is(err, errInsufficient):
+						aborts.Add(1)
+					default:
+						// The node crashed under us: this worker stops,
+						// the others keep going.
+						return
+					}
+				}
+			}(node, coord)
+		}
+	}
+
+	// Let the bank run, then crash compute node 0 mid-flight.
+	time.Sleep(100 * time.Millisecond)
+	fmt.Printf("before the crash: %d transfers committed\n", commits.Load())
+	stats, err := c.FailCompute(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compute node 0 crashed; recovery rolled %d tx forward, %d back, and freed its locks (%v wall)\n",
+		stats.RolledForward, stats.RolledBack, stats.WallTime)
+
+	// Survivors keep transferring for a while, then everything stops.
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	fmt.Printf("after the crash: %d transfers committed, %d aborted (conflicts)\n", commits.Load(), aborts.Load())
+
+	// The conservation check: with all-or-nothing transactions and
+	// all-or-nothing recovery, not one unit of money is lost or minted.
+	var total uint64
+	s := c.Session(1, 0)
+	tx := s.Begin()
+	if err := tx.ReadRange("accounts", 0, accounts-1, func(_ pandora.Key, v []byte) bool {
+		total += binary.LittleEndian.Uint64(v)
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	want := uint64(accounts * initial)
+	fmt.Printf("total balance: %d (expected %d)\n", total, want)
+	if total != want {
+		log.Fatal("CONSERVATION VIOLATED")
+	}
+	fmt.Println("conservation holds: recovery was all-or-nothing")
+}
+
+// transfer moves amount from one account to another in a transaction,
+// retrying conflicts.
+func transfer(s *pandora.Session, from, to pandora.Key, amount uint64) error {
+	return s.Update(20, func(tx *pandora.Tx) error {
+		fv, err := tx.Read("accounts", from)
+		if err != nil {
+			return err
+		}
+		tv, err := tx.Read("accounts", to)
+		if err != nil {
+			return err
+		}
+		f := binary.LittleEndian.Uint64(fv)
+		if f < amount {
+			return errInsufficient
+		}
+		if err := tx.Write("accounts", from, u64(f-amount)); err != nil {
+			return err
+		}
+		return tx.Write("accounts", to, u64(binary.LittleEndian.Uint64(tv)+amount))
+	})
+}
+
+var errInsufficient = errors.New("insufficient funds")

@@ -1,0 +1,102 @@
+// Failover: the paper's headline demonstration (Figure 8). A
+// microbenchmark runs on two compute nodes with a live heartbeat-based
+// failure detector; one compute node silently dies; the detector times
+// out, recovery runs, and the survivors never stop committing. Then a
+// memory server dies: the whole store pauses briefly for primary
+// promotion and resumes. A throughput timeline is printed at the end.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	pandora "pandora"
+	"pandora/internal/trace"
+	"pandora/internal/workload"
+)
+
+func main() {
+	micro := &workload.Micro{Keys: 20_000, WriteRatio: 0.5}
+	c, err := pandora.New(pandora.Config{
+		MemoryNodes:         3,
+		ComputeNodes:        2,
+		Replication:         2,
+		CoordinatorsPerNode: 8,
+		Tables:              micro.Tables(),
+		LiveFD:              true, // heartbeat-timeout detection
+		// The paper uses a 5 ms timeout on real hardware; the in-process
+		// Go scheduler pauses goroutines for longer than that on a busy
+		// box, so the example uses a scheduler-realistic timeout to
+		// avoid false positives. (Bench code injects failures
+		// deterministically and is unaffected.)
+		FDTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := micro.Load(c); err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		timeline = 1500 * time.Millisecond
+		bucket   = 100 * time.Millisecond
+	)
+	rec := trace.NewRecorder(timeline+bucket, bucket)
+	done := make(chan workload.Result, 1)
+	go func() {
+		done <- workload.Run(workload.DriverConfig{
+			Cluster:  c,
+			Workload: micro,
+			Duration: timeline,
+			Recorder: rec,
+			Seed:     1,
+		})
+	}()
+
+	// t = 500ms: compute node 0 silently dies. No one calls anything —
+	// the failure detector notices the missing heartbeats.
+	time.Sleep(500 * time.Millisecond)
+	fmt.Println("t=500ms: compute node 0 crashes (silently)")
+	c.CrashCompute(0)
+
+	// t = 1000ms: memory server 0 dies. Detection + stop-the-world
+	// primary promotion.
+	time.Sleep(500 * time.Millisecond)
+	fmt.Println("t=1000ms: memory server 0 crashes")
+	c.CrashMemory(0)
+
+	res := <-done
+	if st, err := c.LastRecovery(0); err == nil {
+		fmt.Printf("compute recovery: detected by heartbeat timeout; log recovery %v wall, %d logged txs\n",
+			st.WallTime, st.LoggedTxs)
+	}
+	fmt.Printf("run: %d committed, %d aborted, %d workers died with their node\n\n",
+		res.Committed, res.Aborted, res.Crashed)
+
+	fmt.Println("throughput timeline (committed tx per second):")
+	for _, p := range rec.Series() {
+		bar := int(p.PerSec / 2000)
+		if bar > 70 {
+			bar = 70
+		}
+		fmt.Printf("  %6v %9.0f %s\n", p.T, p.PerSec, stars(bar))
+	}
+	fmt.Println("\nshape: compute fault at 500ms — the survivors continue without ever")
+	fmt.Println("stopping (on a many-core box their share is ~2/3 of the rate; on a")
+	fmt.Println("single-CPU box oversubscription can even raise it, §6.4). Memory fault")
+	fmt.Println("at 1000ms — a brief stop-the-world for primary promotion, then the")
+	fmt.Println("promoted primaries serve reads and writes again.")
+}
+
+func stars(n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = '#'
+	}
+	return string(s)
+}

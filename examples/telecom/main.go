@@ -1,0 +1,79 @@
+// Telecom: the TATP benchmark (§4.1) — 4 tables, 80% read-only
+// traffic — running on the DKVS, with a mid-run compute failure and a
+// final data-integrity audit. Demonstrates the multi-table API
+// (reads, updates, inserts and deletes of call-forwarding records).
+//
+//	go run ./examples/telecom
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	pandora "pandora"
+	"pandora/internal/workload"
+)
+
+func main() {
+	tatp := &workload.TATP{Subscribers: 5_000}
+	c, err := pandora.New(pandora.Config{
+		ComputeNodes:        2,
+		CoordinatorsPerNode: 8,
+		Tables:              tatp.Tables(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := tatp.Load(c); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d subscribers across 4 tables (subscriber, access_info, special_facility, call_forwarding)\n",
+		5000)
+
+	// Run the standard TATP mix and crash a compute node mid-run.
+	stop := make(chan struct{})
+	done := make(chan workload.Result, 1)
+	go func() {
+		done <- workload.Run(workload.DriverConfig{
+			Cluster:  c,
+			Workload: tatp,
+			Duration: 2 * time.Second,
+			Stop:     stop,
+			Seed:     3,
+		})
+	}()
+	time.Sleep(150 * time.Millisecond)
+	stats, err := c.FailCompute(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	res := <-done
+
+	fmt.Printf("ran TATP: %d committed (%.0f tx/s), %d aborted; %d workers died with node 0\n",
+		res.Committed, res.CommitRate(), res.Aborted, res.Crashed)
+	fmt.Printf("recovery: %d logged txs (%d forward, %d back) in %v wall time\n",
+		stats.LoggedTxs, stats.RolledForward, stats.RolledBack, stats.WallTime)
+
+	// Audit: every subscriber row must still be present and readable
+	// from the surviving node (recovery freed every stray lock).
+	s := c.Session(1, 0)
+	audited := 0
+	for sub := pandora.Key(0); sub < 5000; sub += 500 {
+		tx := s.Begin()
+		if _, err := tx.Read("subscriber", sub); err != nil {
+			log.Fatalf("subscriber %d unreadable after failover: %v", sub, err)
+		}
+		if _, err := tx.Read("access_info", pandora.Key(uint64(sub)<<2)); err != nil {
+			log.Fatalf("access_info of %d unreadable: %v", sub, err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+		audited++
+	}
+	fmt.Printf("audit: %d sampled subscribers fully readable after the failure — no stray lock blocks them\n", audited)
+}

@@ -1,0 +1,189 @@
+package pandora
+
+import (
+	"fmt"
+	"time"
+
+	"pandora/internal/core"
+	"pandora/internal/kvlayout"
+	"pandora/internal/memnode"
+	"pandora/internal/rdma"
+)
+
+// CrashCompute fail-stops compute node i without telling the FD; with
+// LiveFD the heartbeat timeout detects it, otherwise call FailCompute
+// for deterministic injection.
+func (c *Cluster) CrashCompute(i int) { c.node(i).Crash() }
+
+// FailCompute crashes compute node i and deterministically drives
+// detection + recovery, returning the recovery statistics.
+func (c *Cluster) FailCompute(i int) (RecoveryStats, error) {
+	cn := c.node(i)
+	cn.Crash()
+	ev, ok := c.fd.MarkFailed(cn.ID())
+	if !ok {
+		// Already detected (e.g. by a live FD); wait for its recovery
+		// record.
+		return c.waitRecovery(cn.ID(), time.Second)
+	}
+	if c.cfg.NoAutoRecover {
+		// Caller drives the manager directly.
+		_ = ev
+		return RecoveryStats{}, nil
+	}
+	return c.lastRecovery(cn.ID())
+}
+
+// FailComputeSoft declares compute node i failed WITHOUT crashing it —
+// a false positive of the failure detector. Recovery must fence the
+// zombie (Cor1) before touching state.
+func (c *Cluster) FailComputeSoft(i int) (RecoveryStats, error) {
+	cn := c.node(i)
+	if _, ok := c.fd.MarkFailed(cn.ID()); !ok {
+		return RecoveryStats{}, fmt.Errorf("pandora: node %d already failed", i)
+	}
+	return c.lastRecovery(cn.ID())
+}
+
+// lastRecovery returns the recorded stats for a node's last recovery.
+func (c *Cluster) lastRecovery(id rdma.NodeID) (RecoveryStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.lastRec[id]
+	if !ok {
+		return RecoveryStats{}, fmt.Errorf("pandora: no recovery recorded for node %d", id)
+	}
+	return st, nil
+}
+
+// waitRecovery polls for a recovery record (live-FD mode).
+func (c *Cluster) waitRecovery(id rdma.NodeID, timeout time.Duration) (RecoveryStats, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st, err := c.lastRecovery(id); err == nil {
+			return st, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return RecoveryStats{}, fmt.Errorf("pandora: recovery of node %d not observed within %v", id, timeout)
+}
+
+// LastRecovery returns the stats of compute node i's most recent
+// recovery.
+func (c *Cluster) LastRecovery(i int) (RecoveryStats, error) {
+	return c.lastRecovery(c.node(i).ID())
+}
+
+// RestartCompute brings a crashed compute node back as a fresh process:
+// its RDMA rights are restored, the FD assigns brand-new coordinator-ids
+// (ids are never reused, §3.1.2), and the node rejoins with the current
+// placement view and failed-ids set. This is the "failed resources are
+// reused" scenario of §6.4 (Figure 8, blue line).
+func (c *Cluster) RestartCompute(i int) error {
+	old := c.node(i)
+	if !old.Crashed() && !c.fd.IsFailed(old.ID()) {
+		return fmt.Errorf("pandora: compute node %d is not failed", i)
+	}
+	nodeID := old.ID()
+	for _, m := range c.mems {
+		m.RestoreLink(nodeID)
+	}
+	c.fab.SetCrashed(nodeID, false)
+
+	ids, err := c.fd.RegisterCompute(nodeID, c.cfg.CoordinatorsPerNode)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Protocol:        c.cfg.Protocol,
+		Bugs:            c.cfg.SeedBugs,
+		DisablePILL:     c.cfg.DisablePILL,
+		StallOnConflict: c.cfg.StallOnConflict,
+		Persist:         c.cfg.Persistence,
+	}
+	ring := c.mgr.Ring()
+	cn := core.NewComputeNode(c.fab, nodeID, ring, c.schema, ids, opts)
+	// The rejoining node must learn the current failure state: every
+	// failed coordinator-id and every dead memory server.
+	cn.NotifyStrayLocks(c.fd.FailedIDs().IDs())
+	for _, m := range c.mems {
+		if c.fab.IsDown(m.ID()) {
+			cn.NotifyMemoryFailure(m.ID())
+		}
+	}
+	c.mgr.SetPeer(cn)
+	if c.cfg.LiveFD {
+		cn.StartHeartbeats(c.fd, time.Millisecond)
+	}
+	c.mu.Lock()
+	c.nodes[i] = cn
+	c.mu.Unlock()
+	return nil
+}
+
+// CrashMemory fail-stops memory node i (index into the memory servers).
+func (c *Cluster) CrashMemory(i int) { c.mems[i].Crash() }
+
+// FailMemory crashes memory node i and deterministically drives
+// detection + the memory-failure recovery (primary promotion).
+func (c *Cluster) FailMemory(i int) error {
+	srv := c.mems[i]
+	srv.Crash()
+	if _, ok := c.fd.MarkFailed(srv.ID()); !ok {
+		return fmt.Errorf("pandora: memory node %d already failed", i)
+	}
+	return nil
+}
+
+// PowerFailMemory power-fails memory node i (requires Config.
+// Persistence): the node goes down and its memory reverts to the
+// durable NVM image — unacknowledged (un-flushed) writes are lost —
+// then detection + primary promotion run as for any memory failure.
+func (c *Cluster) PowerFailMemory(i int) error {
+	srv := c.mems[i]
+	c.fab.PowerFail(srv.ID())
+	if _, ok := c.fd.MarkFailed(srv.ID()); !ok {
+		return fmt.Errorf("pandora: memory node %d already failed", i)
+	}
+	return nil
+}
+
+// RestartMemory brings a power-failed memory server back, serving its
+// durable image, and restores it in every compute node's placement view
+// (it resumes as primary for its partitions). With f+1 > 1 replicas the
+// restarted node's data may lag writes acknowledged during the outage —
+// re-replication resynchronises it; with a single replica (pure NVM
+// durability) the durable image is the authoritative state.
+func (c *Cluster) RestartMemory(i int) {
+	c.mems[i].Restart()
+	c.mu.Lock()
+	nodes := append([]*core.ComputeNode{}, c.nodes...)
+	c.mu.Unlock()
+	for _, cn := range nodes {
+		cn.NotifyMemoryRecovered(c.mems[i].ID())
+	}
+}
+
+// Rereplicate replaces failed memory node i with a fresh server,
+// restoring full redundancy (stop-the-world, §3.2.5).
+func (c *Cluster) Rereplicate(i int) (*memnode.Server, error) {
+	dead := c.mems[i]
+	replID := dead.ID() + 500
+	repl, err := c.mgr.Rereplicate(dead.ID(), replID)
+	if err != nil {
+		return nil, err
+	}
+	c.mems[i] = repl
+	return repl, nil
+}
+
+// RecycleCoordinatorIDs runs the background stray-lock scan that makes
+// failed coordinator-ids reusable (§3.1.2), returning the number of
+// locks released.
+func (c *Cluster) RecycleCoordinatorIDs() int {
+	released := c.mgr.RecycleStrayLocks(func(id kvlayout.CoordID) bool {
+		return c.fd.FailedIDs().Test(id)
+	})
+	c.fd.ResetIDSpace()
+	return released
+}

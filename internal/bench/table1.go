@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pandora/internal/core"
+	"pandora/internal/litmus"
+)
+
+// Table1Result summarises the litmus validation of Table 1: the fixed
+// protocols pass every litmus test, and each seeded FORD bug is caught
+// by the test the paper attributes it to.
+type Table1Result struct {
+	FixedReports []litmus.Report
+	BugRows      []BugRow
+}
+
+// BugRow is one seeded-bug detection outcome.
+type BugRow struct {
+	Bug        string
+	Category   string
+	Litmus     string
+	Violations int
+	Iterations int
+}
+
+// Table1 runs the litmus validation. iterations scales the effort.
+func Table1(iterations int) (*Table1Result, error) {
+	res := &Table1Result{}
+
+	fixed, err := litmus.RunAll(litmus.Config{
+		Protocol:   core.ProtocolPandora,
+		Iterations: iterations,
+		Seed:       1,
+		Jitter:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.FixedReports = fixed
+
+	type bugCase struct {
+		name, category string
+		bugs           core.Bugs
+		proto          core.Protocol
+		test           litmus.Test
+		edit           func(*litmus.Config)
+	}
+	cases := []bugCase{
+		{"Complicit Aborts", "C1", core.Bugs{ComplicitAbort: true}, core.ProtocolPandora, litmus.Litmus1RMW(),
+			func(c *litmus.Config) { c.NoCrashes = true }},
+		{"Missing Actions", "C2", core.Bugs{MissingInsertLog: true}, core.ProtocolFORD, litmus.Litmus1Insert(),
+			func(c *litmus.Config) { c.CrashMidTx = 0.9; c.CrashAfterTxs = 0.01 }},
+		{"Covert Locks", "C1", core.Bugs{CovertLocks: true}, core.ProtocolPandora, litmus.Litmus2(),
+			func(c *litmus.Config) { c.NoCrashes = true }},
+		{"Relaxed Locks", "C1", core.Bugs{RelaxedLocks: true}, core.ProtocolPandora, litmus.Litmus2(),
+			func(c *litmus.Config) { c.NoCrashes = true }},
+		{"Lost Decision", "C2", core.Bugs{LostDecision: true}, core.ProtocolFORD, litmus.Litmus3LostDecision(),
+			func(c *litmus.Config) { c.Jitter = false; c.CrashAfterTxs = 1.0 }},
+		{"Logging w/o locking", "C2", core.Bugs{LostDecision: true, LogWithoutLock: true}, core.ProtocolFORD, litmus.Litmus3LogWithoutLock(),
+			func(c *litmus.Config) { c.Jitter = false; c.CrashAfterTxs = 1.0 }},
+	}
+	for _, bc := range cases {
+		cfg := litmus.Config{
+			Protocol:   bc.proto,
+			Bugs:       bc.bugs,
+			Iterations: iterations,
+			Seed:       5,
+			Jitter:     true,
+		}
+		if bc.edit != nil {
+			bc.edit(&cfg)
+		}
+		total := 0
+		for seed := int64(0); seed < 6 && total == 0; seed++ {
+			cfg.Seed = seed*31 + 5
+			rep, err := litmus.RunTest(bc.test, cfg)
+			if err != nil {
+				return nil, err
+			}
+			total += len(rep.Violations)
+		}
+		res.BugRows = append(res.BugRows, BugRow{
+			Bug:        bc.name,
+			Category:   bc.category,
+			Litmus:     bc.test.Name,
+			Violations: total,
+			Iterations: iterations,
+		})
+	}
+	return res, nil
+}
+
+// String renders the validation summary.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Litmus validation (fixed Pandora, crash injection):\n")
+	for _, rep := range r.FixedReports {
+		status := "PASS"
+		if len(rep.Violations) > 0 {
+			status = fmt.Sprintf("FAIL (%d violations)", len(rep.Violations))
+		}
+		fmt.Fprintf(&b, "  %-28s %-6s (%d iters, %d crashes, %d recoveries)\n",
+			rep.Test, status, rep.Iterations, rep.Crashes, rep.Recoveries)
+	}
+	b.WriteString("Seeded Table-1 bugs (must be caught):\n")
+	for _, row := range r.BugRows {
+		status := "CAUGHT"
+		if row.Violations == 0 {
+			status = "MISSED"
+		}
+		fmt.Fprintf(&b, "  %-20s %-3s via %-28s %-7s (%d violations)\n",
+			row.Bug, row.Category, row.Litmus, status, row.Violations)
+	}
+	return b.String()
+}

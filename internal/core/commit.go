@@ -1,0 +1,448 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pandora/internal/kvlayout"
+	"pandora/internal/rdma"
+)
+
+// isMemFault reports whether a verb failed because the target memory
+// server is down — the memory-failure cases of §3.2.5, handled by
+// continuing against the live replicas.
+func isMemFault(err error) bool { return errors.Is(err, rdma.ErrNodeDown) }
+
+// Commit runs validation, the logging phase, and the commit path
+// (§3.1.5). On any validation or execution conflict it runs the abort
+// path instead and returns ErrAborted (wrapped with the reason).
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.cn.crashed.Load() {
+		return tx.crash()
+	}
+
+	// RelaxedLocks bug: the deferred lock CASes overlap validation —
+	// validation reads are issued first, the lock completions are only
+	// checked afterwards.
+	var deferred []*writeEnt
+	if tx.cn.opts.Bugs.RelaxedLocks {
+		for _, w := range tx.writes {
+			if w.pendingCAS != nil {
+				deferred = append(deferred, w)
+			}
+		}
+	}
+
+	ok, err := tx.validate()
+	if err != nil {
+		return err
+	}
+	if tx.cn.opts.PostValidateDelay != nil {
+		tx.cn.opts.PostValidateDelay()
+	}
+
+	for _, w := range deferred {
+		if verr := tx.co.ep.DoSeq(w.pendingCAS); verr != nil {
+			return tx.verbFailure(verr)
+		}
+		if w.pendingCAS.Swapped {
+			w.locked = true
+		} else if tx.strayLock(w.pendingCAS.Old) {
+			_, stole, serr := tx.co.ep.CAS(w.pendingCAS.Addr, w.pendingCAS.Old, tx.lockWord())
+			if serr != nil {
+				return tx.verbFailure(serr)
+			}
+			w.locked = stole
+			ok = ok && stole
+		} else {
+			ok = false
+		}
+	}
+
+	if !ok {
+		return tx.abort("validation failed")
+	}
+	if tx.cn.crashAt(tx.co.id, PointAfterValidation) {
+		return tx.crash()
+	}
+
+	// Read-only transactions are done at validation.
+	if len(tx.writes) == 0 {
+		tx.AckedCommit = true
+		tx.release()
+		return nil
+	}
+
+	// Logging phase (§3.1.4): executed only because validation
+	// succeeded, so at recovery time a valid log implies the
+	// transaction reached its commit decision point. FORD-mode already
+	// logged during execution.
+	if tx.cn.opts.Protocol != ProtocolFORD {
+		if err := tx.writePandoraLog(); err != nil {
+			return err
+		}
+		if tx.cn.crashAt(tx.co.id, PointAfterLog) {
+			return tx.crash()
+		}
+	}
+
+	// Commit step 1: apply every write to every replica.
+	if err := tx.applyWrites(); err != nil {
+		return err
+	}
+	if tx.cn.crashAt(tx.co.id, PointAfterApplyAll) {
+		return tx.crash()
+	}
+
+	if tx.cn.opts.Persist {
+		// §7: the applied data must be durable before the client is
+		// acknowledged.
+		if err := tx.flushApplied(); err != nil {
+			return err
+		}
+	}
+
+	if DebugCommit != nil {
+		for _, w := range tx.writes {
+			v := uint64(0)
+			if len(w.newValue) >= 8 {
+				v = kvlayout.Uint64(w.newValue)
+			}
+			prim := uint16(0)
+			if len(w.replicas) > 0 {
+				prim = uint16(w.replicas[0])
+			}
+			DebugCommit(tx.co.id, w.ref.key, w.newVersion, v, w.ref.slot, prim)
+		}
+	}
+
+	// Commit step 2: client acknowledgement.
+	tx.AckedCommit = true
+	if tx.cn.crashAt(tx.co.id, PointAfterAck) {
+		return tx.crash()
+	}
+
+	// Commit step 3: truncate the log, then release the locks. Truncating
+	// first closes the window where a crash would leave a valid log for a
+	// fully unlocked transaction — later writers could then move versions
+	// and fool recovery into rolling this transaction back. A crash after
+	// truncation leaves only lock words, which PILL stealing cleans up
+	// against a fully consistent memory image.
+	if tx.logged {
+		if err := tx.truncateLogs(); err != nil {
+			return tx.verbFailure(err)
+		}
+	}
+	if tx.cn.crashAt(tx.co.id, PointAfterTruncate) {
+		return tx.crash()
+	}
+	if err := tx.unlockAll(false); err != nil {
+		return err
+	}
+	if tx.cn.crashAt(tx.co.id, PointAfterUnlock) {
+		return tx.crash()
+	}
+
+	tx.release()
+	return nil
+}
+
+// validate re-reads every read-set object's lock and version in a single
+// parallel batch and checks that the transaction still observes a
+// consistent snapshot (§3.1.5 step 2). Both words live in the slot
+// header, so one 16-byte READ per object fetches both — the Covert
+// Locks fix costs no extra round trip.
+func (tx *Tx) validate() (bool, error) {
+	// Insert duplicate check: a racing same-key insert on another slot
+	// must be detected before commit (see ComputeNode.scanForKey).
+	for _, w := range tx.writes {
+		if w.kind != kvlayout.WriteInsert {
+			continue
+		}
+		dup, err := tx.cn.scanForKey(tx.co.ep, w.ref.table, w.ref.key, w.ref.slot)
+		if err != nil {
+			if errors.Is(err, rdma.ErrCrashed) {
+				return false, tx.crash()
+			}
+			return false, tx.abort("insert validation: " + err.Error())
+		}
+		if dup {
+			return false, tx.abort(fmt.Sprintf("insert validation: key %d/%d claimed elsewhere",
+				w.ref.table, w.ref.key))
+		}
+	}
+	if len(tx.reads) == 0 {
+		return true, nil
+	}
+	bufs := make([][]byte, len(tx.reads))
+	ops := make([]*rdma.Op, 0, len(tx.reads))
+	for i, r := range tx.reads {
+		primary, _, err := tx.cn.replicasFor(r.ref.partition)
+		if err != nil {
+			return false, tx.abort("validation: no live replica: " + err.Error())
+		}
+		bufs[i] = make([]byte, 16)
+		ops = append(ops, &rdma.Op{
+			Kind: rdma.OpRead,
+			Addr: tx.cn.tableAddr(primary, r.ref, kvlayout.SlotLockOff),
+			Buf:  bufs[i],
+		})
+	}
+	var err error
+	if tx.cn.getInjector() != nil {
+		err = tx.co.ep.DoSeq(ops...)
+	} else {
+		err = tx.co.ep.Do(ops...)
+	}
+	if err != nil {
+		if errors.Is(err, rdma.ErrCrashed) {
+			return false, tx.crash()
+		}
+		return false, tx.abort("validation verb failed: " + err.Error())
+	}
+	for i, r := range tx.reads {
+		lock := kvlayout.Uint64(bufs[i][0:])
+		version := kvlayout.Uint64(bufs[i][8:])
+		if version != r.version {
+			return false, tx.abort(fmt.Sprintf("validation: version of %d/%d moved %d -> %d",
+				r.ref.table, r.ref.key, r.version, version))
+		}
+		if tx.cn.opts.Bugs.CovertLocks {
+			continue // seeded bug: lock word ignored during validation
+		}
+		if kvlayout.IsLocked(lock) && lock != tx.lockWord() && !tx.strayLock(lock) {
+			return false, tx.abort(fmt.Sprintf("validation: %d/%d locked by coordinator %d",
+				r.ref.table, r.ref.key, kvlayout.LockOwner(lock)))
+		}
+	}
+	return true, nil
+}
+
+// applyPayload builds the commit image of a write: version, key field
+// and value — everything after the lock word, written in one WRITE while
+// the lock is still held.
+func applyPayload(tab kvlayout.Table, ent *writeEnt) []byte {
+	buf := make([]byte, tab.SlotSize()-kvlayout.SlotVersionOff)
+	kvlayout.PutUint64(buf[0:], ent.newVersion)
+	switch ent.kind {
+	case kvlayout.WriteDelete:
+		kvlayout.PutUint64(buf[8:], kvlayout.TombstoneKeyField)
+	default:
+		kvlayout.PutUint64(buf[8:], kvlayout.KeyField(ent.ref.key))
+		copy(buf[16:], ent.newValue)
+	}
+	return buf
+}
+
+// applyWrites applies every write-set object to every replica (commit
+// step 1). Replicas that have failed are skipped — the transaction
+// commits once all live replicas carry the update (§3.2.5).
+func (tx *Tx) applyWrites() error {
+	injected := tx.cn.getInjector() != nil
+	var batch []*rdma.Op
+	batchEnt := make([]*writeEnt, 0)
+	batchNode := make([]rdma.NodeID, 0)
+	for _, w := range tx.writes {
+		tab := tx.cn.schema[w.ref.table]
+		payload := applyPayload(tab, w)
+		for _, n := range w.replicas {
+			op := &rdma.Op{
+				Kind: rdma.OpWrite,
+				Addr: tx.cn.tableAddr(n, w.ref, kvlayout.SlotVersionOff),
+				Buf:  payload,
+			}
+			if injected {
+				if tx.cn.crashed.Load() {
+					return tx.crash()
+				}
+				err := tx.co.ep.DoSeq(op)
+				switch {
+				case err == nil:
+					w.applied = append(w.applied, n)
+				case errors.Is(err, rdma.ErrCrashed):
+					return tx.crash()
+				case isMemFault(err):
+					// dead replica: commit against the live ones
+				default:
+					return tx.abort("apply failed: " + err.Error())
+				}
+				if tx.cn.crashAt(tx.co.id, PointAfterApplyOne) {
+					return tx.crash()
+				}
+			} else {
+				batch = append(batch, op)
+				batchEnt = append(batchEnt, w)
+				batchNode = append(batchNode, n)
+			}
+		}
+		if w.kind == kvlayout.WriteInsert {
+			tx.cn.cacheRef(w.ref)
+		}
+		if w.kind == kvlayout.WriteDelete {
+			tx.cn.dropRef(w.ref.table, w.ref.key)
+		}
+	}
+	if injected {
+		return nil
+	}
+	err := tx.co.ep.Do(batch...)
+	if err != nil && errors.Is(err, rdma.ErrCrashed) {
+		return tx.crash()
+	}
+	fatal := ""
+	for i, op := range batch {
+		switch {
+		case op.Err == nil:
+			batchEnt[i].applied = append(batchEnt[i].applied, batchNode[i])
+		case isMemFault(op.Err):
+			// dead replica: tolerated
+		default:
+			fatal = op.Err.Error()
+		}
+	}
+	if fatal != "" {
+		return tx.abort("apply failed: " + fatal)
+	}
+	return nil
+}
+
+// unlockAll releases this transaction's primary locks with 8-byte
+// WRITEs of zero. In the abort path (abortPath=true) an insert's empty
+// slot is tombstoned first so probe chains that grew past it while it
+// was locked stay intact. With the ComplicitAbort bug seeded, the abort
+// path blindly releases every write-set lock — including ones this
+// transaction never acquired.
+func (tx *Tx) unlockAll(abortPath bool) error {
+	var zero [8]byte
+	var tomb [8]byte
+	kvlayout.PutUint64(tomb[:], kvlayout.TombstoneKeyField)
+	injected := tx.cn.getInjector() != nil
+	var ops []*rdma.Op
+	for _, w := range tx.writes {
+		if !w.locked && !(abortPath && tx.cn.opts.Bugs.ComplicitAbort) {
+			continue
+		}
+		if len(w.replicas) == 0 {
+			continue
+		}
+		primary := w.replicas[0]
+		if abortPath && w.wasInsert && len(w.applied) == 0 {
+			ops = append(ops, &rdma.Op{
+				Kind: rdma.OpWrite,
+				Addr: tx.cn.tableAddr(primary, w.ref, kvlayout.SlotKeyOff),
+				Buf:  tomb[:],
+			})
+		}
+		ops = append(ops, &rdma.Op{
+			Kind: rdma.OpWrite,
+			Addr: tx.cn.tableAddr(primary, w.ref, kvlayout.SlotLockOff),
+			Buf:  zero[:],
+		})
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	var err error
+	if injected {
+		for _, op := range ops {
+			if tx.cn.crashed.Load() {
+				return tx.crash()
+			}
+			if e := tx.co.ep.DoSeq(op); e != nil && !isMemFault(e) {
+				if errors.Is(e, rdma.ErrCrashed) {
+					return tx.crash()
+				}
+				return e
+			}
+			if tx.cn.crashAt(tx.co.id, PointAfterUnlock) {
+				return tx.crash()
+			}
+		}
+		return nil
+	}
+	err = tx.co.ep.Do(ops...)
+	if err != nil {
+		if errors.Is(err, rdma.ErrCrashed) {
+			return tx.crash()
+		}
+		if !isMemFault(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// abortInternal is the abort path (§3.1.5 step 3): roll back any
+// applied writes using the locally held undo images, log the decision by
+// truncating, then release the locks and acknowledge the abort.
+func (tx *Tx) abortInternal(reason string) error {
+	// Roll back replicas the commit write already reached (possible when
+	// an apply was cut short by a memory fault).
+	var ops []*rdma.Op
+	for _, w := range tx.writes {
+		if len(w.applied) == 0 {
+			continue
+		}
+		if DebugRestore != nil {
+			ov := uint64(0)
+			if len(w.oldValue) >= 8 {
+				ov = kvlayout.Uint64(w.oldValue)
+			}
+			DebugRestore(tx.co.id, w.ref.key, w.oldVersion, ov, reason)
+		}
+		tab := tx.cn.schema[w.ref.table]
+		payload := undoPayload(tab, w)
+		for _, n := range w.applied {
+			ops = append(ops, &rdma.Op{
+				Kind: rdma.OpWrite,
+				Addr: tx.cn.tableAddr(n, w.ref, kvlayout.SlotVersionOff),
+				Buf:  payload,
+			})
+		}
+		w.applied = nil
+	}
+	if len(ops) > 0 {
+		if err := tx.co.ep.Do(ops...); err != nil && errors.Is(err, rdma.ErrCrashed) {
+			return rdma.ErrCrashed
+		}
+	}
+
+	// Log the decision by truncating (skipped when the Lost Decision bug
+	// is seeded: FORD leaves logs of aborted transactions behind).
+	if tx.logged && !(tx.cn.opts.Protocol == ProtocolFORD && tx.cn.opts.Bugs.LostDecision) {
+		if err := tx.truncateLogs(); err != nil && errors.Is(err, rdma.ErrCrashed) {
+			return rdma.ErrCrashed
+		}
+	}
+
+	if err := tx.unlockAll(true); err != nil {
+		if errors.Is(err, rdma.ErrCrashed) {
+			return rdma.ErrCrashed
+		}
+	}
+	tx.AckedAbort = true
+	return &abortError{reason: reason}
+}
+
+// undoPayload is the pre-image written over a rolled-back slot.
+func undoPayload(tab kvlayout.Table, ent *writeEnt) []byte {
+	return kvlayout.RollbackImage(tab, logWriteOf(ent))
+}
+
+// Abort aborts the transaction explicitly.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.cn.crashed.Load() {
+		return tx.crash()
+	}
+	err := tx.abort("user abort")
+	if errors.Is(err, ErrAborted) {
+		return nil
+	}
+	return err
+}

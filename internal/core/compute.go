@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pandora/internal/fdetect"
+	"pandora/internal/kvlayout"
+	"pandora/internal/place"
+	"pandora/internal/rdma"
+)
+
+// CrashPoint identifies a protocol step at which a fault injector may
+// crash the compute node. The litmus framework injects crashes "after
+// any operation" (§5) by triggering on these points.
+type CrashPoint int
+
+// Crash points, in protocol order.
+const (
+	PointBeforeLock CrashPoint = iota
+	PointAfterLock
+	PointAfterExecRead
+	PointAfterFORDLog
+	PointAfterValidation
+	PointAfterLog
+	PointAfterApplyOne // after applying the write to one replica
+	PointAfterApplyAll
+	PointAfterAck
+	PointAfterUnlock
+	PointAfterTruncate
+)
+
+// CrashInjector decides whether the node crashes at a protocol point.
+// Returning true fail-stops the whole compute node immediately.
+type CrashInjector func(coord kvlayout.CoordID, point CrashPoint) bool
+
+// ComputeNode is one compute server: it hosts a set of transaction
+// coordinators, the node-local failed-ids bitset, the address cache,
+// and the heartbeat loop toward the failure detector.
+type ComputeNode struct {
+	fab    *rdma.Fabric
+	id     rdma.NodeID
+	schema []kvlayout.Table
+	opts   Options
+
+	ring     atomic.Pointer[place.Ring]
+	failed   *fdetect.Bitset
+	deadMu   sync.RWMutex
+	deadMem  map[rdma.NodeID]bool
+	cfgEpoch atomic.Uint64
+
+	addrMu    sync.RWMutex
+	addrCache map[addrKey]objRef
+
+	coords []*Coordinator
+
+	// pause is held (read) by every running transaction; memory-failure
+	// reconfiguration takes the write side to stop the world (§3.2.5).
+	pause   sync.RWMutex
+	crashed atomic.Bool
+
+	injMu    sync.Mutex
+	injector CrashInjector
+
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
+
+	// stallPoll is the retry interval of the stalling path; tests lower
+	// it.
+	stallPoll time.Duration
+}
+
+type addrKey struct {
+	table kvlayout.TableID
+	key   kvlayout.Key
+}
+
+// objRef pins an object's physical location.
+type objRef struct {
+	table     kvlayout.TableID
+	key       kvlayout.Key
+	partition uint32
+	slot      uint64
+}
+
+// NewComputeNode attaches a compute node to the fabric. The coordinator
+// ids must come from the failure detector's RegisterCompute so they are
+// globally unique.
+func NewComputeNode(fab *rdma.Fabric, id rdma.NodeID, ring *place.Ring, schema []kvlayout.Table, coordIDs []kvlayout.CoordID, opts Options) *ComputeNode {
+	cn := &ComputeNode{
+		fab:       fab,
+		id:        id,
+		schema:    schema,
+		opts:      opts,
+		failed:    fdetect.NewBitset(),
+		deadMem:   make(map[rdma.NodeID]bool),
+		addrCache: make(map[addrKey]objRef),
+		hbStop:    make(chan struct{}),
+		stallPoll: 20 * time.Microsecond,
+	}
+	cn.ring.Store(ring)
+	// EnsureNode rather than AddNode: a restarted compute server rejoins
+	// under its existing fabric identity (with fresh coordinator-ids).
+	fab.EnsureNode(id)
+	// Every coordinator endpoint is gated on THIS incarnation's crash
+	// flag: after a crash + restart, the fabric node id comes back up
+	// for the new incarnation, but the old incarnation's in-flight verbs
+	// must never resurrect (a real restart is a new process).
+	alive := func() bool { return !cn.crashed.Load() }
+	for slot, cid := range coordIDs {
+		cn.coords = append(cn.coords, &Coordinator{
+			node:       cn,
+			id:         cid,
+			slot:       slot,
+			ep:         fab.Endpoint(id).WithGate(alive),
+			logServers: ring.LogServers(id),
+		})
+	}
+	return cn
+}
+
+// ID returns the compute node's fabric id.
+func (cn *ComputeNode) ID() rdma.NodeID { return cn.id }
+
+// Options returns the node's protocol options.
+func (cn *ComputeNode) Options() Options { return cn.opts }
+
+// Coordinators returns the node's transaction coordinators.
+func (cn *ComputeNode) Coordinators() []*Coordinator { return cn.coords }
+
+// Coordinator returns coordinator i.
+func (cn *ComputeNode) Coordinator(i int) *Coordinator { return cn.coords[i] }
+
+// FailedIDs returns the node-local failed-ids bitset consulted by PILL.
+func (cn *ComputeNode) FailedIDs() *fdetect.Bitset { return cn.failed }
+
+// Ring returns the node's current placement view.
+func (cn *ComputeNode) Ring() *place.Ring { return cn.ring.Load() }
+
+// SetPostValidateDelay installs (or clears) the post-validation jitter
+// hook; see Options.PostValidateDelay. Call only while the node is
+// quiescent.
+func (cn *ComputeNode) SetPostValidateDelay(fn func()) {
+	cn.opts.PostValidateDelay = fn
+}
+
+// SetLocalWork installs (or clears) the per-read local-work hook; see
+// Options.LocalWork. Call only while the node is quiescent.
+func (cn *ComputeNode) SetLocalWork(fn func()) {
+	cn.opts.LocalWork = fn
+}
+
+// SetPersist toggles the NVM flush discipline (Options.Persist). Call
+// only while the node is quiescent.
+func (cn *ComputeNode) SetPersist(on bool) {
+	cn.opts.Persist = on
+}
+
+// SetInjector installs a crash injector (nil removes it). With an
+// injector installed, multi-verb phases run verb-at-a-time so a crash
+// can land between any two verbs.
+func (cn *ComputeNode) SetInjector(inj CrashInjector) {
+	cn.injMu.Lock()
+	cn.injector = inj
+	cn.injMu.Unlock()
+}
+
+func (cn *ComputeNode) getInjector() CrashInjector {
+	cn.injMu.Lock()
+	defer cn.injMu.Unlock()
+	return cn.injector
+}
+
+// Crash fail-stops the compute node: all coordinators stop issuing
+// verbs, heartbeats cease. Memory-side state (locks, logs) survives —
+// that is the whole problem recovery solves.
+func (cn *ComputeNode) Crash() {
+	cn.crashed.Store(true)
+	cn.fab.SetCrashed(cn.id, true)
+}
+
+// Crashed reports whether the node has crashed.
+func (cn *ComputeNode) Crashed() bool { return cn.crashed.Load() }
+
+// Restart clears the crash flag. A restarted node must re-register with
+// the FD for fresh coordinator-ids before resuming transactions; this is
+// handled at the cluster layer.
+func (cn *ComputeNode) Restart() {
+	cn.crashed.Store(false)
+	cn.fab.SetCrashed(cn.id, false)
+}
+
+// crashAt consults the injector and, if it fires, crashes the node.
+// It returns true when the node is (now) crashed.
+func (cn *ComputeNode) crashAt(coord kvlayout.CoordID, p CrashPoint) bool {
+	if cn.crashed.Load() {
+		return true
+	}
+	if inj := cn.getInjector(); inj != nil && inj(coord, p) {
+		cn.Crash()
+		return true
+	}
+	return false
+}
+
+// NotifyStrayLocks is the stray-lock notification of §3.2.2 step 4: the
+// recovery manager announces the failed coordinator-ids; this node's
+// transactions may steal their locks from now on.
+func (cn *ComputeNode) NotifyStrayLocks(ids []kvlayout.CoordID) {
+	for _, id := range ids {
+		cn.failed.Set(id)
+	}
+}
+
+// NotifyMemoryFailure updates the node's placement view after a memory
+// server failure: the partition primaries deterministically move to the
+// next live replica (§3.2.5).
+func (cn *ComputeNode) NotifyMemoryFailure(node rdma.NodeID) {
+	cn.deadMu.Lock()
+	cn.deadMem[node] = true
+	cn.deadMu.Unlock()
+	cn.cfgEpoch.Add(1)
+}
+
+// NotifyMemoryRecovered marks a previously failed memory server live
+// again in this node's placement view (after a power-failed NVM server
+// restarts, or after re-replication).
+func (cn *ComputeNode) NotifyMemoryRecovered(node rdma.NodeID) {
+	cn.deadMu.Lock()
+	delete(cn.deadMem, node)
+	cn.deadMu.Unlock()
+	cn.cfgEpoch.Add(1)
+}
+
+// memAlive reports this node's view of a memory server's liveness.
+func (cn *ComputeNode) memAlive(n rdma.NodeID) bool {
+	cn.deadMu.RLock()
+	defer cn.deadMu.RUnlock()
+	return !cn.deadMem[n]
+}
+
+// SwapRing installs a new placement ring (after re-replication onto a
+// replacement memory server) and clears the address cache, since slot
+// locations may have moved. The caller must have Paused the node: log
+// server assignments are refreshed on every coordinator.
+func (cn *ComputeNode) SwapRing(r *place.Ring) {
+	cn.ring.Store(r)
+	for _, co := range cn.coords {
+		co.logServers = r.LogServers(cn.id)
+	}
+	cn.addrMu.Lock()
+	cn.addrCache = make(map[addrKey]objRef)
+	cn.addrMu.Unlock()
+	cn.deadMu.Lock()
+	cn.deadMem = make(map[rdma.NodeID]bool)
+	cn.deadMu.Unlock()
+}
+
+// Pause stops the world on this node: it waits for in-flight
+// transactions to finish and blocks new ones until Resume.
+func (cn *ComputeNode) Pause() { cn.pause.Lock() }
+
+// Resume lifts a Pause.
+func (cn *ComputeNode) Resume() { cn.pause.Unlock() }
+
+// StartHeartbeats launches the heartbeat loop toward the FD at the given
+// interval. The loop stops when the node crashes or StopHeartbeats is
+// called.
+func (cn *ComputeNode) StartHeartbeats(d *fdetect.Detector, interval time.Duration) {
+	cn.hbWG.Add(1)
+	go func() {
+		defer cn.hbWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-cn.hbStop:
+				return
+			case <-t.C:
+				if cn.crashed.Load() {
+					return
+				}
+				d.Heartbeat(cn.id)
+			}
+		}
+	}()
+}
+
+// StopHeartbeats terminates the heartbeat loop.
+func (cn *ComputeNode) StopHeartbeats() {
+	select {
+	case <-cn.hbStop:
+	default:
+		close(cn.hbStop)
+	}
+	cn.hbWG.Wait()
+}
+
+// replicasFor returns an object's replicas with the current primary
+// first, per this node's liveness view.
+func (cn *ComputeNode) replicasFor(partition uint32) (primary rdma.NodeID, all []rdma.NodeID, err error) {
+	ring := cn.ring.Load()
+	all = ring.Replicas(partition)
+	prim, ok := ring.Primary(partition, cn.memAlive)
+	if !ok {
+		return 0, nil, fmt.Errorf("core: no live replica for partition %d", partition)
+	}
+	return prim, all, nil
+}
+
+// liveReplicas filters an object's replicas to those this node believes
+// alive.
+func (cn *ComputeNode) liveReplicas(partition uint32) []rdma.NodeID {
+	ring := cn.ring.Load()
+	var out []rdma.NodeID
+	for _, n := range ring.Replicas(partition) {
+		if cn.memAlive(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Coordinator executes transactions one at a time over one-sided verbs.
+// The paper's "outstanding transactions per compute node" (Table 2) is
+// the number of coordinators.
+type Coordinator struct {
+	node       *ComputeNode
+	id         kvlayout.CoordID
+	slot       int // index of this coordinator's log area within the node's log region
+	ep         *rdma.Endpoint
+	logServers []rdma.NodeID
+	txCounter  uint64
+}
+
+// ID returns the coordinator's unique coordinator-id.
+func (co *Coordinator) ID() kvlayout.CoordID { return co.id }
+
+// LogServers returns the f+1 designated log servers of this
+// coordinator's compute node.
+func (co *Coordinator) LogServers() []rdma.NodeID {
+	return append([]rdma.NodeID(nil), co.logServers...)
+}
+
+// Node returns the owning compute node.
+func (co *Coordinator) Node() *ComputeNode { return co.node }
+
+// WithClock makes the coordinator charge verb latencies to clk (used by
+// latency-shaped experiments); nil disables charging.
+func (co *Coordinator) WithClock(clk *rdma.VClock) {
+	co.ep = co.ep.WithClock(clk)
+}

@@ -1,0 +1,177 @@
+// Package core implements the paper's primary contribution: the
+// compute-side transactional protocols for disaggregated key-value
+// stores, executed entirely through one-sided RDMA verbs.
+//
+// Three protocols share the same engine:
+//
+//   - ProtocolPandora (§3.1): FORD's optimistic execution/validation
+//     with Pandora's fixes — locks carry the owner's coordinator-id
+//     (PILL, §3.1.2), the undo log is written in a dedicated logging
+//     phase after validation succeeds to f+1 designated log servers
+//     (§3.1.4), and stray locks of failed coordinators are stolen
+//     instead of scanned for.
+//   - ProtocolFORD (§2.3): the baseline. Locks are taken eagerly and
+//     per-object undo logs are written to the object's own replicas
+//     during execution — before the commit decision — which is exactly
+//     what makes the baseline's recovery slow (stray locks require a
+//     full-memory scan) and, in corner cases, incorrect (Table 1).
+//   - ProtocolTradLog (§6.1 "traditional logging scheme"): Pandora plus
+//     an explicit lock-intent log round trip before every lock, the
+//     conventional way to make locks recoverable; used to quantify what
+//     PILL saves.
+//
+// The six bugs of Table 1 are seeded behind the Bugs flags so the litmus
+// framework (package litmus) can demonstrate detecting each; with all
+// flags false the engine runs the fixed protocol.
+//
+// Transactions provide strict serializability (OCC with eager write
+// locking and read-set validation) under the crash-stop failure model of
+// §2.1.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pandora/internal/kvlayout"
+)
+
+// Protocol selects the transactional protocol variant.
+type Protocol int
+
+// Protocol variants.
+const (
+	ProtocolPandora Protocol = iota
+	ProtocolFORD
+	ProtocolTradLog
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolPandora:
+		return "pandora"
+	case ProtocolFORD:
+		return "ford"
+	case ProtocolTradLog:
+		return "tradlog"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Bugs seeds the Table-1 FORD bugs for litmus validation. All false
+// (the zero value) runs the fixed protocol. The first three are
+// online-failure-free (C1) bugs reachable in every protocol variant;
+// the last three are online-recovery (C2) bugs of FORD's exec-time
+// logging and therefore only take effect under ProtocolFORD.
+type Bugs struct {
+	// ComplicitAbort: the abort path releases every write-set lock,
+	// including locks the transaction never actually acquired — thereby
+	// releasing locks held by other transactions (litmus 1).
+	ComplicitAbort bool
+	// CovertLocks: validation compares only read-set versions and
+	// ignores the lock word, admitting read-write cycles (litmus 2).
+	CovertLocks bool
+	// RelaxedLocks: validation may begin before every write-set lock has
+	// been confirmed, overlapping execution and validation (litmus 2).
+	RelaxedLocks bool
+	// MissingInsertLog: inserts are omitted from the undo log, so
+	// recovery cannot undo them (litmus 1 insert variant). FORD only.
+	MissingInsertLog bool
+	// LostDecision: keep FORD's exec-time logging even for transactions
+	// that later abort, making committed and aborted logged transactions
+	// indistinguishable at recovery (litmus 3). FORD only — this is
+	// FORD's inherent behaviour; the flag exists so the fixed baseline
+	// can also be run with post-validation truncation discipline.
+	LostDecision bool
+	// LogWithoutLock: a corner case where an object's undo log is
+	// written before its lock CAS is issued (litmus 3). FORD only.
+	LogWithoutLock bool
+}
+
+// Options configures a compute node's protocol engine.
+type Options struct {
+	Protocol Protocol
+	Bugs     Bugs
+	// DisablePILL turns off the failed-ids check and lock stealing,
+	// reproducing the non-recoverable FORD steady state (Figure 6's
+	// "without PILL" line).
+	DisablePILL bool
+	// Persist enables the NVM persistence mode of §7: commits make the
+	// undo log durable before applying (write-ahead rule) and the
+	// applied data durable before acknowledging, using FORD's selective
+	// one-sided flush scheme (one flush round trip per touched node).
+	// Requires a fabric with persistence enabled; meaningful for
+	// ProtocolPandora/ProtocolTradLog (FORD-mode exec-time logs are
+	// flushed per object).
+	Persist bool
+	// StallOnConflict makes transactions wait for a conflicting lock
+	// instead of aborting (the stalling path studied in §6.4 /
+	// Figures 13-14). Waiters re-check the failed-ids set so they
+	// unblock the moment recovery announces the owner's failure.
+	StallOnConflict bool
+	// LocalWork is an optional callback simulating application work
+	// between operations (Figure 2(c) shows a local task mid-transaction).
+	LocalWork func()
+	// PostValidateDelay, when set, runs between validation and the
+	// logging/commit steps. The litmus framework injects random
+	// scheduling jitter here to widen the race windows that expose the
+	// validation-ordering bugs (Covert Locks, Relaxed Locks) — the same
+	// windows real network latency variance opens on hardware.
+	PostValidateDelay func()
+}
+
+// Transaction outcome errors.
+var (
+	// ErrAborted is returned by Commit (wrapped, with a reason) when the
+	// transaction aborted; the abort has already been performed.
+	ErrAborted = errors.New("core: transaction aborted")
+	// ErrNotFound is returned by Read/Write/Delete for absent keys.
+	ErrNotFound = errors.New("core: key not found")
+	// ErrExists is returned by Insert for present keys.
+	ErrExists = errors.New("core: key already exists")
+	// ErrTableFull is returned by Insert when the probe chain has no
+	// free slot.
+	ErrTableFull = errors.New("core: table full (probe limit reached)")
+	// ErrTxDone is returned when operating on a committed/aborted
+	// transaction.
+	ErrTxDone = errors.New("core: transaction already finished")
+	// ErrPaused is returned while the compute node is paused for
+	// memory-failure reconfiguration.
+	ErrPaused = errors.New("core: compute node paused for reconfiguration")
+)
+
+// abortError carries the abort reason (and optional cause) while
+// matching ErrAborted.
+type abortError struct {
+	reason string
+	cause  error
+}
+
+func (e *abortError) Error() string        { return "core: transaction aborted: " + e.reason }
+func (e *abortError) Is(target error) bool { return target == ErrAborted }
+func (e *abortError) Unwrap() error        { return e.cause }
+
+// DebugSteal, when set by tests, observes every successful PILL lock
+// steal: (stealer coordinator, previous owner, key).
+var DebugSteal func(stealer, owner kvlayout.CoordID, key kvlayout.Key)
+
+// DebugCommit, when set by tests, observes every write-set entry of
+// every commit that completed its apply phase: (coordinator, key,
+// new version, first 8 bytes of the new value).
+var DebugCommit func(coord kvlayout.CoordID, key kvlayout.Key, newVersion, val uint64, slot uint64, primary uint16)
+
+// DebugRestore, when set by tests, observes every abort-path restore of
+// an already-applied write: (coordinator, key, restored version,
+// restored value word, reason).
+var DebugRestore func(coord kvlayout.CoordID, key kvlayout.Key, oldVersion, oldVal uint64, reason string)
+
+// AbortReason extracts the reason from an ErrAborted error, or "".
+func AbortReason(err error) string {
+	var ae *abortError
+	if errors.As(err, &ae) {
+		return ae.reason
+	}
+	return ""
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"pandora/internal/kvlayout"
+	"pandora/internal/rdma"
+)
+
+// logWriteOf converts a write-set entry to its undo-log form. The
+// logged Kind drives the UNDO direction (RollbackImage): an entry whose
+// slot held no committed key before the transaction is always undone to
+// a tombstone, even if the transaction later turned the insert into an
+// update or delete.
+func logWriteOf(ent *writeEnt) kvlayout.LogWrite {
+	kind := ent.kind
+	if ent.wasInsert {
+		kind = kvlayout.WriteInsert
+	}
+	return kvlayout.LogWrite{
+		Table:      ent.ref.table,
+		Partition:  ent.ref.partition,
+		Slot:       ent.ref.slot,
+		Key:        ent.ref.key,
+		Kind:       kind,
+		OldVersion: ent.oldVersion,
+		NewVersion: ent.newVersion,
+		OldValue:   ent.oldValue,
+	}
+}
+
+// logAreaOff is the offset of this coordinator's log area within its
+// compute node's log region.
+func (tx *Tx) logAreaOff() uint64 { return kvlayout.LogAreaOffset(tx.co.slot) }
+
+// writePandoraLog performs Pandora's logging phase (§3.1.4): the whole
+// write-set is serialised into one record and written with a single
+// RDMA WRITE to each of the f+1 designated log servers, in parallel.
+// Total cost: f+1 WRITEs per transaction, independent of write-set size.
+func (tx *Tx) writePandoraLog() error {
+	rec := kvlayout.LogRecord{TxID: tx.id, Coord: tx.co.id}
+	for _, w := range tx.writes {
+		if w.kind == kvlayout.WriteInsert && tx.cn.opts.Protocol == ProtocolFORD && tx.cn.opts.Bugs.MissingInsertLog {
+			continue
+		}
+		rec.Writes = append(rec.Writes, logWriteOf(w))
+	}
+	payload := rec.Encode()
+	off := tx.logAreaOff() + kvlayout.TxLogOff
+	region := kvlayout.LogRegionID(tx.cn.id)
+
+	written := 0
+	if tx.cn.getInjector() != nil {
+		// Verb-at-a-time so a crash can land between log-server writes.
+		for _, n := range tx.logServers() {
+			if tx.cn.crashed.Load() {
+				return tx.crash()
+			}
+			err := tx.co.ep.Write(rdma.Addr{Node: n, Region: region, Offset: off}, payload)
+			switch {
+			case err == nil:
+				written++
+			case isMemFault(err):
+				// dead log server: the surviving copies suffice
+			default:
+				return tx.verbFailure(err)
+			}
+		}
+	} else {
+		ops := make([]*rdma.Op, 0, len(tx.logServers()))
+		for _, n := range tx.logServers() {
+			ops = append(ops, &rdma.Op{
+				Kind: rdma.OpWrite,
+				Addr: rdma.Addr{Node: n, Region: region, Offset: off},
+				Buf:  payload,
+			})
+		}
+		if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+			return tx.verbFailure(err)
+		}
+		for _, op := range ops {
+			if op.Err == nil {
+				written++
+			} else if !isMemFault(op.Err) {
+				return tx.verbFailure(op.Err)
+			}
+		}
+	}
+	if written == 0 {
+		return tx.abort("logging: every log server unreachable")
+	}
+	tx.logged = true
+	if tx.cn.opts.Persist {
+		// Write-ahead rule for NVM: the log must be durable before any
+		// data is applied (§7, selective one-sided flush).
+		fops := make([]*rdma.Op, 0, len(tx.logServers()))
+		for _, n := range tx.logServers() {
+			fops = append(fops, &rdma.Op{
+				Kind:  rdma.OpFlush,
+				Addr:  rdma.Addr{Node: n, Region: region, Offset: off},
+				Delta: uint64(len(payload)),
+			})
+		}
+		if err := tx.co.ep.Do(fops...); err != nil && !isMemFault(err) {
+			return tx.verbFailure(err)
+		}
+	}
+	return nil
+}
+
+// flushApplied makes every applied slot durable before the commit is
+// acknowledged (§7).
+func (tx *Tx) flushApplied() error {
+	var ops []*rdma.Op
+	for _, w := range tx.writes {
+		tab := tx.cn.schema[w.ref.table]
+		n := tab.SlotSize() - kvlayout.SlotVersionOff
+		for _, node := range w.applied {
+			ops = append(ops, &rdma.Op{
+				Kind:  rdma.OpFlush,
+				Addr:  tx.cn.tableAddr(node, w.ref, kvlayout.SlotVersionOff),
+				Delta: n,
+			})
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+		return tx.verbFailure(err)
+	}
+	return nil
+}
+
+// fordLogObject writes a single-object undo record (FORD-mode exec-time
+// logging, §2.3): one record per write-set object, appended to this
+// coordinator's log area on each replica of the object. This is f+1
+// WRITEs per object, versus Pandora's f+1 per transaction.
+func (tx *Tx) fordLogObject(ent *writeEnt) error {
+	rec := kvlayout.LogRecord{TxID: tx.id, Coord: tx.co.id, Writes: []kvlayout.LogWrite{logWriteOf(ent)}}
+	payload := rec.Encode()
+	region := kvlayout.LogRegionID(tx.cn.id)
+	if tx.fordLogAt == nil {
+		tx.fordLogAt = make(map[rdma.NodeID]uint64)
+	}
+	replicas := ent.replicas
+	if replicas == nil {
+		// LogWithoutLock bug path: logging happens before the lock step
+		// snapshots the replica set.
+		primary, all, err := tx.cn.replicasFor(ent.ref.partition)
+		if err != nil {
+			return tx.abort("no live replica: " + err.Error())
+		}
+		replicas = orderReplicas(primary, all)
+	}
+	var ops []*rdma.Op
+	for _, n := range replicas {
+		cur, ok := tx.fordLogAt[n]
+		if !ok {
+			cur = tx.logAreaOff() + kvlayout.TxLogOff
+		}
+		if cur+uint64(len(payload)) > tx.logAreaOff()+kvlayout.LockLogOff {
+			return tx.abort("ford log area full")
+		}
+		ops = append(ops, &rdma.Op{
+			Kind: rdma.OpWrite,
+			Addr: rdma.Addr{Node: n, Region: region, Offset: cur},
+			Buf:  payload,
+		})
+		tx.fordLogAt[n] = cur + uint64(len(payload))
+	}
+	written := 0
+	if tx.cn.getInjector() != nil {
+		for _, op := range ops {
+			if tx.cn.crashed.Load() {
+				return tx.crash()
+			}
+			err := tx.co.ep.DoSeq(op)
+			switch {
+			case err == nil:
+				written++
+			case isMemFault(err):
+			default:
+				return tx.verbFailure(err)
+			}
+		}
+	} else {
+		if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+			return tx.verbFailure(err)
+		}
+		for _, op := range ops {
+			if op.Err == nil {
+				written++
+			} else if !isMemFault(op.Err) {
+				return tx.verbFailure(op.Err)
+			}
+		}
+	}
+	if written == 0 {
+		return tx.abort("ford logging: every replica unreachable")
+	}
+	tx.logged = true
+	if tx.cn.opts.Persist {
+		fops := make([]*rdma.Op, 0, len(ops))
+		for _, op := range ops {
+			if op.Err != nil {
+				continue
+			}
+			fops = append(fops, &rdma.Op{Kind: rdma.OpFlush, Addr: op.Addr, Delta: uint64(len(payload))})
+		}
+		if err := tx.co.ep.Do(fops...); err != nil && !isMemFault(err) {
+			return tx.verbFailure(err)
+		}
+	}
+	return nil
+}
+
+// writeLockIntent is the traditional logging scheme's extra round trip
+// (§6.1): before every lock CAS, the coordinator logs the lock intent to
+// its f+1 log servers and awaits completion. This is precisely the
+// overhead PILL eliminates.
+func (tx *Tx) writeLockIntent(ref objRef) error {
+	if tx.intentIdx >= kvlayout.MaxLockIntents {
+		return tx.abort("lock-intent log full")
+	}
+	payload := kvlayout.EncodeLockIntent(kvlayout.LockIntent{
+		TxID:      tx.id,
+		Table:     ref.table,
+		Key:       ref.key,
+		Slot:      ref.slot,
+		Partition: ref.partition,
+	})
+	off := tx.logAreaOff() + kvlayout.LockLogOff + 8 + uint64(tx.intentIdx)*kvlayout.LockIntentSize
+	region := kvlayout.LogRegionID(tx.cn.id)
+	ops := make([]*rdma.Op, 0, len(tx.logServers()))
+	for _, n := range tx.logServers() {
+		ops = append(ops, &rdma.Op{
+			Kind: rdma.OpWrite,
+			Addr: rdma.Addr{Node: n, Region: region, Offset: off},
+			Buf:  payload,
+		})
+	}
+	if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+		return tx.verbFailure(err)
+	}
+	written := 0
+	for _, op := range ops {
+		if op.Err == nil {
+			written++
+		}
+	}
+	if written == 0 {
+		return tx.abort("lock-intent logging: every log server unreachable")
+	}
+	tx.intentIdx++
+	return nil
+}
+
+// logServers returns the nodes holding this coordinator's transaction
+// log.
+func (tx *Tx) logServers() []rdma.NodeID { return tx.co.logServers }
+
+// truncateOps builds the log-truncation WRITEs for this transaction:
+// the 8-byte invalidation of the record header on every node where a
+// log may exist.
+func (tx *Tx) truncateOps() []*rdma.Op {
+	region := kvlayout.LogRegionID(tx.cn.id)
+	off := tx.logAreaOff() + kvlayout.TxLogOff
+	nodes := tx.logServers()
+	if tx.cn.opts.Protocol == ProtocolFORD {
+		// FORD-mode spread records over the write-set objects' replicas.
+		seen := map[rdma.NodeID]bool{}
+		nodes = nodes[:0:0]
+		for n := range tx.fordLogAt {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	ops := make([]*rdma.Op, 0, len(nodes))
+	for _, n := range nodes {
+		ops = append(ops, &rdma.Op{
+			Kind: rdma.OpWrite,
+			Addr: rdma.Addr{Node: n, Region: region, Offset: off},
+			Buf:  kvlayout.TruncateWord[:],
+		})
+	}
+	return ops
+}
+
+// truncateLogs invalidates this transaction's log records.
+func (tx *Tx) truncateLogs() error {
+	ops := tx.truncateOps()
+	if len(ops) == 0 {
+		return nil
+	}
+	if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+		return err
+	}
+	tx.logged = false
+	return nil
+}

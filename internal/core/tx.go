@@ -1,0 +1,672 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pandora/internal/kvlayout"
+	"pandora/internal/rdma"
+)
+
+// readEnt is one read-set entry.
+type readEnt struct {
+	ref     objRef
+	version uint64
+	value   []byte
+}
+
+// writeEnt is one write-set entry.
+type writeEnt struct {
+	ref  objRef
+	kind kvlayout.WriteKind
+	// wasInsert records that the slot held no committed key before this
+	// transaction (the entry began life as an insert claim). Undo paths
+	// key off this, not the final kind: an insert that was later turned
+	// into a delete within the same transaction must still be undone to
+	// a tombstone, never "restored".
+	wasInsert  bool
+	newValue   []byte
+	locked     bool
+	pendingCAS *rdma.Op // RelaxedLocks bug: lock CAS deferred to commit
+	oldValue   []byte
+	oldVersion uint64
+	newVersion uint64
+	replicas   []rdma.NodeID // replica set snapshot, primary first
+	applied    []rdma.NodeID // replicas the commit write reached
+}
+
+// Tx is one transaction. A coordinator runs transactions one at a time;
+// Tx is not safe for concurrent use.
+type Tx struct {
+	co  *Coordinator
+	cn  *ComputeNode
+	id  uint64 // coordinator-local, monotonic
+	tag uint32 // low bits of id; embedded in the lock word
+
+	reads  []*readEnt
+	writes []*writeEnt
+
+	logged    bool
+	fordLogAt map[rdma.NodeID]uint64 // FORD-mode append cursors
+	intentIdx int                    // tradlog lock-intent cursor
+
+	done     bool
+	released bool
+
+	// Client-visible acknowledgement state, used by litmus tests to
+	// enforce Cor3 (never roll back a commit-acked transaction, never
+	// roll forward an abort-acked one).
+	AckedCommit bool
+	AckedAbort  bool
+}
+
+// Begin starts a transaction. It blocks while the node is paused for
+// memory-failure reconfiguration.
+func (co *Coordinator) Begin() *Tx {
+	cn := co.node
+	cn.pause.RLock()
+	co.txCounter++
+	return &Tx{
+		co:  co,
+		cn:  cn,
+		id:  co.txCounter,
+		tag: uint32(co.txCounter),
+	}
+}
+
+// ID returns the coordinator-local transaction id.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// lockWord is the word this transaction CASes into lock fields. Recovery
+// reconstructs it from the log record (coordinator-id + low bits of the
+// transaction id), so it must stay in sync with recovery.LockWordFor.
+func (tx *Tx) lockWord() uint64 { return kvlayout.LockWord(tx.co.id, tx.tag) }
+
+// release ends the transaction exactly once (pause lock bookkeeping).
+func (tx *Tx) release() {
+	if !tx.released {
+		tx.released = true
+		tx.done = true
+		tx.cn.pause.RUnlock()
+	}
+}
+
+// crash marks the node crashed mid-transaction and abandons all
+// cleanup, leaving locks and logs strewn in memory — the situation
+// recovery must handle.
+func (tx *Tx) crash() error {
+	tx.release()
+	return rdma.ErrCrashed
+}
+
+// abort runs the abort path (§3.1.5 step 3) and returns ErrAborted with
+// the reason.
+func (tx *Tx) abort(reason string) error {
+	return tx.abortCause(reason, nil)
+}
+
+// abortCause aborts with an underlying cause preserved for errors.Is
+// (e.g. rdma.ErrRevoked after active-link termination).
+func (tx *Tx) abortCause(reason string, cause error) error {
+	err := tx.abortInternal(reason)
+	tx.release()
+	var ae *abortError
+	if errors.As(err, &ae) {
+		ae.cause = cause
+	}
+	return err
+}
+
+func (tx *Tx) findWrite(table kvlayout.TableID, key kvlayout.Key) *writeEnt {
+	for _, w := range tx.writes {
+		if w.ref.table == table && w.ref.key == key {
+			return w
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) findRead(table kvlayout.TableID, key kvlayout.Key) *readEnt {
+	for _, r := range tx.reads {
+		if r.ref.table == table && r.ref.key == key {
+			return r
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) checkUsable() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.cn.crashed.Load() {
+		return tx.crash()
+	}
+	return nil
+}
+
+// Read returns key's committed value (or this transaction's own pending
+// write). A conflicting lock aborts the transaction unless the lock is
+// stray (PILL) or the stalling path is configured.
+func (tx *Tx) Read(table kvlayout.TableID, key kvlayout.Key) ([]byte, error) {
+	if err := tx.checkUsable(); err != nil {
+		return nil, err
+	}
+	if w := tx.findWrite(table, key); w != nil {
+		if w.kind == kvlayout.WriteDelete {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), w.newValue...), nil
+	}
+	if r := tx.findRead(table, key); r != nil {
+		return append([]byte(nil), r.value...), nil
+	}
+
+	ref, found, err := tx.cn.resolve(tx.co.ep, table, key)
+	if err != nil {
+		return nil, tx.verbFailure(err)
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	slot, err := tx.readSlotConsistent(ref)
+	if err != nil {
+		return nil, err
+	}
+	if !slot.Present {
+		return nil, ErrNotFound
+	}
+	ent := &readEnt{ref: ref, version: slot.Version, value: append([]byte(nil), slot.Value...)}
+	tx.reads = append(tx.reads, ent)
+	if tx.cn.opts.LocalWork != nil {
+		tx.cn.opts.LocalWork()
+	}
+	return append([]byte(nil), ent.value...), nil
+}
+
+// readSlotConsistent fetches a full slot from the primary, handling
+// stale cache entries and conflicting locks per the protocol policy
+// (abort / treat-stray-as-unlocked / stall).
+func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, error) {
+	tab := tx.cn.schema[ref.table]
+	buf := make([]byte, tab.SlotSize())
+	for {
+		primary, _, err := tx.cn.replicasFor(ref.partition)
+		if err != nil {
+			return kvlayout.Slot{}, tx.abort("no live replica: " + err.Error())
+		}
+		if err := tx.co.ep.Read(tx.cn.tableAddr(primary, ref, 0), buf); err != nil {
+			return kvlayout.Slot{}, tx.verbFailure(err)
+		}
+		slot := tab.DecodeSlot(buf)
+		if slot.Present && slot.Key != ref.key {
+			// Stale cache: the slot was reused; re-probe once.
+			tx.cn.dropRef(ref.table, ref.key)
+			newRef, found, err := tx.cn.resolve(tx.co.ep, ref.table, ref.key)
+			if err != nil {
+				return kvlayout.Slot{}, tx.verbFailure(err)
+			}
+			if !found {
+				return kvlayout.Slot{Present: false}, nil
+			}
+			ref = newRef
+			continue
+		}
+		if kvlayout.IsLocked(slot.Lock) && slot.Lock != tx.lockWord() {
+			if tx.strayLock(slot.Lock) {
+				// PILL: a stray lock of a failed coordinator is treated
+				// as no lock at all (§3.1.2).
+				return slot, nil
+			}
+			if tx.mayStall() {
+				if err := tx.stallWait(); err != nil {
+					return kvlayout.Slot{}, err
+				}
+				continue
+			}
+			return kvlayout.Slot{}, tx.abort(fmt.Sprintf("read of %d/%d found lock held by coordinator %d",
+				ref.table, ref.key, kvlayout.LockOwner(slot.Lock)))
+		}
+		return slot, nil
+	}
+}
+
+// strayLock reports whether a lock word belongs to a known-failed
+// coordinator (the PILL failed-ids check; O(1) bitset lookup).
+func (tx *Tx) strayLock(word uint64) bool {
+	if tx.cn.opts.DisablePILL {
+		return false
+	}
+	return tx.cn.failed.Test(kvlayout.LockOwner(word))
+}
+
+// holdsLocks reports whether the transaction already holds any lock.
+func (tx *Tx) holdsLocks() bool {
+	for _, w := range tx.writes {
+		if w.locked {
+			return true
+		}
+	}
+	return false
+}
+
+// mayStall reports whether the stalling path applies: a transaction may
+// wait for a conflicting lock only while it holds none itself (no
+// hold-and-wait, so stalled transactions can never deadlock each
+// other); otherwise the conflict aborts as usual.
+func (tx *Tx) mayStall() bool {
+	return tx.cn.opts.StallOnConflict && !tx.holdsLocks()
+}
+
+// stallWait sleeps one poll interval of the stalling path.
+func (tx *Tx) stallWait() error {
+	if tx.cn.crashed.Load() {
+		return tx.crash()
+	}
+	time.Sleep(tx.cn.stallPoll)
+	return nil
+}
+
+// verbFailure maps a verb error to the transaction outcome: a crash of
+// our own node propagates as ErrCrashed (leaving state strewn); anything
+// else aborts.
+func (tx *Tx) verbFailure(err error) error {
+	if errors.Is(err, rdma.ErrCrashed) {
+		return tx.crash()
+	}
+	return tx.abortCause("verb failed: "+err.Error(), err)
+}
+
+// Write stages an update of an existing key and eagerly locks it
+// (§3.1.5 step 1).
+func (tx *Tx) Write(table kvlayout.TableID, key kvlayout.Key, value []byte) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	tab := tx.cn.schema[table]
+	if len(value) > tab.ValueSize {
+		return fmt.Errorf("core: value of %d bytes exceeds table %d value size %d", len(value), table, tab.ValueSize)
+	}
+	if w := tx.findWrite(table, key); w != nil {
+		if w.kind == kvlayout.WriteDelete {
+			w.kind = kvlayout.WriteUpdate
+		}
+		w.newValue = padValue(tab, value)
+		return nil
+	}
+	ref, found, err := tx.cn.resolve(tx.co.ep, table, key)
+	if err != nil {
+		return tx.verbFailure(err)
+	}
+	if !found {
+		return ErrNotFound
+	}
+	return tx.stageLockedWrite(ref, kvlayout.WriteUpdate, padValue(tab, value))
+}
+
+// Delete stages removal of an existing key.
+func (tx *Tx) Delete(table kvlayout.TableID, key kvlayout.Key) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	if w := tx.findWrite(table, key); w != nil {
+		w.kind = kvlayout.WriteDelete
+		w.newValue = nil
+		return nil
+	}
+	ref, found, err := tx.cn.resolve(tx.co.ep, table, key)
+	if err != nil {
+		return tx.verbFailure(err)
+	}
+	if !found {
+		return ErrNotFound
+	}
+	return tx.stageLockedWrite(ref, kvlayout.WriteDelete, nil)
+}
+
+// Insert stages creation of a new key: it locks a free slot on the
+// primary's probe chain. The key field and value become visible on all
+// replicas only at commit.
+func (tx *Tx) Insert(table kvlayout.TableID, key kvlayout.Key, value []byte) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	tab := tx.cn.schema[table]
+	if len(value) > tab.ValueSize {
+		return fmt.Errorf("core: value of %d bytes exceeds table %d value size %d", len(value), table, tab.ValueSize)
+	}
+	if w := tx.findWrite(table, key); w != nil {
+		return ErrExists
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		res, err := tx.cn.probe(tx.co.ep, table, key)
+		if err != nil {
+			return tx.verbFailure(err)
+		}
+		if res.found {
+			return ErrExists
+		}
+		var slot uint64
+		switch {
+		case res.claimed:
+			// Another insert of this key is in flight at claimedSlot. If
+			// its lock is stray (failed coordinator), take the slot over
+			// via PILL stealing; otherwise it is an ordinary lock
+			// conflict.
+			if !tx.strayLock(res.claimedLock) {
+				return tx.abort(fmt.Sprintf("insert of %d/%d conflicts with in-flight claim by coordinator %d",
+					table, key, kvlayout.LockOwner(res.claimedLock)))
+			}
+			slot = res.claimedSlot
+		case res.haveFree:
+			slot = res.freeSlot
+		default:
+			return ErrTableFull
+		}
+		ref := objRef{table: table, key: key, partition: tx.cn.Ring().Partition(key), slot: slot}
+		err = tx.stageLockedWrite(ref, kvlayout.WriteInsert, padValue(tab, value))
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errSlotContended) {
+			continue // the slot changed under us; re-probe
+		}
+		return err
+	}
+	return tx.abort("insert: free-slot contention")
+}
+
+// errSlotContended is an internal retry signal for insert slot races.
+var errSlotContended = errors.New("core: free slot contended")
+
+// stageLockedWrite performs the eager-locking step of execution for one
+// write-set object: (traditional scheme: lock-intent log;) lock CAS +
+// slot READ in one doorbell, PILL steal on stray owners, then undo-state
+// capture. FORD-mode additionally writes the per-object undo log here —
+// before the commit decision — which is the Lost Decision hazard.
+func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []byte) error {
+	cn := tx.cn
+	opts := cn.opts
+	tab := cn.schema[ref.table]
+
+	if opts.LocalWork != nil {
+		opts.LocalWork()
+	}
+	if cn.crashAt(tx.co.id, PointBeforeLock) {
+		return tx.crash()
+	}
+
+	if opts.Protocol == ProtocolTradLog {
+		if err := tx.writeLockIntent(ref); err != nil {
+			return err
+		}
+	}
+
+	ent := &writeEnt{ref: ref, kind: kind, wasInsert: kind == kvlayout.WriteInsert, newValue: newValue}
+
+	if opts.Protocol == ProtocolFORD && opts.Bugs.LogWithoutLock {
+		// Seeded bug: the undo log is written before the lock CAS is
+		// issued. If we crash (or abort) in between, recovery sees a log
+		// for a lock that was never grabbed.
+		tx.captureGuess(ent)
+		if err := tx.fordLogObject(ent); err != nil {
+			return err
+		}
+	}
+
+	if opts.Bugs.RelaxedLocks {
+		// Seeded bug: the lock CAS is posted but its completion is not
+		// awaited before validation begins.
+		primary, all, err := cn.replicasFor(ref.partition)
+		if err != nil {
+			return tx.abort("no live replica: " + err.Error())
+		}
+		ent.replicas = orderReplicas(primary, all)
+		slot, err := tx.readSlotConsistent(ref)
+		if err != nil {
+			return err
+		}
+		tx.captureUndo(ent, slot)
+		ent.pendingCAS = &rdma.Op{
+			Kind:   rdma.OpCAS,
+			Addr:   cn.tableAddr(primary, ref, kvlayout.SlotLockOff),
+			Expect: 0,
+			Swap:   tx.lockWord(),
+		}
+		tx.writes = append(tx.writes, ent)
+		return nil
+	}
+
+	buf := make([]byte, tab.SlotSize())
+	mismatches := 0
+	for {
+		primary, all, err := cn.replicasFor(ref.partition)
+		if err != nil {
+			return tx.abort("no live replica: " + err.Error())
+		}
+		lockOp := &rdma.Op{
+			Kind:   rdma.OpCAS,
+			Addr:   cn.tableAddr(primary, ref, kvlayout.SlotLockOff),
+			Expect: 0,
+			Swap:   tx.lockWord(),
+		}
+		readOp := &rdma.Op{Kind: rdma.OpRead, Addr: cn.tableAddr(primary, ref, 0), Buf: buf}
+		// One doorbell: the CAS is ordered before the READ on the same
+		// queue pair, so the READ observes the post-CAS slot.
+		if err := tx.co.ep.Do(lockOp, readOp); err != nil {
+			return tx.verbFailure(err)
+		}
+		if !lockOp.Swapped {
+			old := lockOp.Old
+			if tx.strayLock(old) {
+				// PILL: steal the stray lock with a second CAS (§3.1.2).
+				_, stole, err := tx.co.ep.CAS(lockOp.Addr, old, tx.lockWord())
+				if err != nil {
+					return tx.verbFailure(err)
+				}
+				if stole && DebugSteal != nil {
+					DebugSteal(tx.co.id, kvlayout.LockOwner(old), ref.key)
+				}
+				if stole {
+					// We now hold the lock; refresh the slot image under
+					// it before proceeding.
+					if err := tx.co.ep.Read(readOp.Addr, buf); err != nil {
+						return tx.verbFailure(err)
+					}
+					lockOp.Swapped = true
+				} else {
+					// Lost the steal race (or recovery released it);
+					// retry the normal lock.
+					continue
+				}
+			} else {
+				if kind == kvlayout.WriteInsert {
+					return errSlotContended
+				}
+				if tx.mayStall() {
+					if err := tx.stallWait(); err != nil {
+						return err
+					}
+					continue
+				}
+				if opts.Bugs.ComplicitAbort {
+					// Seeded bug: the failed-to-lock object still enters
+					// the write-set, so the abort path will "release" a
+					// lock this transaction never held.
+					ent.replicas = orderReplicas(primary, all)
+					tx.writes = append(tx.writes, ent)
+				}
+				return tx.abort(fmt.Sprintf("lock of %d/%d held by coordinator %d",
+					ref.table, ref.key, kvlayout.LockOwner(old)))
+			}
+		}
+		if cn.crashAt(tx.co.id, PointAfterLock) {
+			return tx.crash()
+		}
+		slot := tab.DecodeSlot(buf)
+		if kind != kvlayout.WriteInsert && (!slot.Present || slot.Key != ref.key) {
+			// The key vanished between resolve and lock (deleted, or the
+			// slot was reused for another key). Release, re-resolve, and
+			// retry at the fresh location.
+			tx.unlockAddr(lockOp.Addr)
+			cn.dropRef(ref.table, ref.key)
+			mismatches++
+			if mismatches > 8 {
+				return tx.abort("lock: slot kept moving")
+			}
+			newRef, found, rerr := cn.resolve(tx.co.ep, ref.table, ref.key)
+			if rerr != nil {
+				return tx.verbFailure(rerr)
+			}
+			if !found {
+				return ErrNotFound
+			}
+			ref = newRef
+			ent.ref = newRef
+			continue
+		}
+		if kind == kvlayout.WriteInsert {
+			// Under our lock, the slot must still be claimable: empty, a
+			// tombstone, or an abandoned claim for exactly our key (a
+			// stray-insert takeover).
+			kf := kvlayout.Uint64(buf[kvlayout.SlotKeyOff:])
+			switch {
+			case kf == 0 || kf == kvlayout.TombstoneKeyField || kf == kvlayout.ClaimKeyField(ref.key):
+				// claimable
+			case kf == kvlayout.KeyField(ref.key):
+				tx.unlockAddr(lockOp.Addr)
+				return ErrExists
+			default:
+				tx.unlockAddr(lockOp.Addr)
+				return errSlotContended
+			}
+		}
+		ent.replicas = orderReplicas(primary, all)
+		tx.captureUndo(ent, slot)
+		if kind == kvlayout.WriteInsert {
+			// Publish the claim: probers of the same key now conflict
+			// with this insert instead of picking a second slot, and
+			// readers keep treating the slot as absent until commit.
+			var claim [8]byte
+			kvlayout.PutUint64(claim[:], kvlayout.ClaimKeyField(ref.key))
+			if err := tx.co.ep.Write(cn.tableAddr(primary, ref, kvlayout.SlotKeyOff), claim[:]); err != nil {
+				return tx.verbFailure(err)
+			}
+		}
+		if cn.crashAt(tx.co.id, PointAfterExecRead) {
+			return tx.crash()
+		}
+		break
+	}
+
+	if opts.Protocol == ProtocolFORD && !opts.Bugs.LogWithoutLock {
+		skip := kind == kvlayout.WriteInsert && opts.Bugs.MissingInsertLog
+		if !skip {
+			if err := tx.fordLogObject(ent); err != nil {
+				return err
+			}
+		}
+		if cn.crashAt(tx.co.id, PointAfterFORDLog) {
+			tx.writes = append(tx.writes, ent)
+			return tx.crash()
+		}
+	}
+
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
+	return nil
+}
+
+// captureUndo records the pre-image needed to roll the write back.
+func (tx *Tx) captureUndo(ent *writeEnt, slot kvlayout.Slot) {
+	ent.oldVersion = slot.Version
+	ent.newVersion = slot.Version + 1
+	if ent.kind != kvlayout.WriteInsert {
+		ent.oldValue = append([]byte(nil), slot.Value...)
+	}
+	ent.locked = true
+}
+
+// captureGuess fills undo state for the LogWithoutLock bug path, where
+// the log is written before the slot is read: the logged pre-image may
+// be stale.
+func (tx *Tx) captureGuess(ent *writeEnt) {
+	slot, err := tx.readSlotUnlocked(ent.ref)
+	if err == nil {
+		ent.oldVersion = slot.Version
+		ent.newVersion = slot.Version + 1
+		ent.oldValue = append([]byte(nil), slot.Value...)
+	}
+}
+
+// readSlotUnlocked fetches a slot image without any conflict policy.
+func (tx *Tx) readSlotUnlocked(ref objRef) (kvlayout.Slot, error) {
+	tab := tx.cn.schema[ref.table]
+	buf := make([]byte, tab.SlotSize())
+	primary, _, err := tx.cn.replicasFor(ref.partition)
+	if err != nil {
+		return kvlayout.Slot{}, err
+	}
+	if err := tx.co.ep.Read(tx.cn.tableAddr(primary, ref, 0), buf); err != nil {
+		return kvlayout.Slot{}, err
+	}
+	return tab.DecodeSlot(buf), nil
+}
+
+// unlockAddr releases a lock this transaction just took, during
+// execution-phase backout.
+func (tx *Tx) unlockAddr(addr rdma.Addr) {
+	var zero [8]byte
+	_ = tx.co.ep.Write(addr, zero[:])
+}
+
+// orderReplicas returns all replicas with primary first.
+func orderReplicas(primary rdma.NodeID, all []rdma.NodeID) []rdma.NodeID {
+	out := make([]rdma.NodeID, 0, len(all))
+	out = append(out, primary)
+	for _, n := range all {
+		if n != primary {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// padValue right-pads a value to the table's fixed value size.
+func padValue(tab kvlayout.Table, v []byte) []byte {
+	out := make([]byte, tab.ValueSize)
+	copy(out, v)
+	return out
+}
+
+// ReadRange reads every present key in [lo, hi], in key order, invoking
+// fn for each. It is a convenience for the dense keyspaces of the
+// paper's benchmarks; each key costs one point read.
+func (tx *Tx) ReadRange(table kvlayout.TableID, lo, hi kvlayout.Key, fn func(k kvlayout.Key, v []byte) bool) error {
+	for k := lo; ; k++ {
+		v, err := tx.Read(table, k)
+		switch {
+		case errors.Is(err, ErrNotFound):
+		case err != nil:
+			return err
+		default:
+			if !fn(k, v) {
+				return nil
+			}
+		}
+		if k == hi {
+			return nil
+		}
+	}
+}
+
+// Done reports whether the transaction has finished (committed, aborted,
+// or abandoned by a crash).
+func (tx *Tx) Done() bool { return tx.done }
+
+// WriteSetSize returns the number of staged write-set objects.
+func (tx *Tx) WriteSetSize() int { return len(tx.writes) }
+
+// ReadSetSize returns the number of read-set entries.
+func (tx *Tx) ReadSetSize() int { return len(tx.reads) }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pandora/internal/kvlayout"
+)
+
+func TestWriteThenDeleteSameTx(t *testing.T) {
+	e := newEnv(t, envConfig{})
+	e.preload(t, 0, 8, func(k kvlayout.Key) []byte { return val16(k, 0) })
+	co := e.nodes[0].Coordinator(0)
+
+	mustCommit(t, co, func(tx *Tx) error {
+		if err := tx.Write(0, 3, []byte("will-die")); err != nil {
+			return err
+		}
+		return tx.Delete(0, 3)
+	})
+	if _, err := readKey(t, co, 0, 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("write-then-delete left the key visible: %v", err)
+	}
+}
+
+func TestDeleteThenWriteSameTx(t *testing.T) {
+	e := newEnv(t, envConfig{})
+	e.preload(t, 0, 8, func(k kvlayout.Key) []byte { return val16(k, 0) })
+	co := e.nodes[0].Coordinator(0)
+
+	mustCommit(t, co, func(tx *Tx) error {
+		if err := tx.Delete(0, 4); err != nil {
+			return err
+		}
+		return tx.Write(0, 4, []byte("resurrected"))
+	})
+	v, err := readKey(t, co, 0, 4)
+	if err != nil || !bytes.HasPrefix(v, []byte("resurrected")) {
+		t.Fatalf("delete-then-write = (%q, %v)", v, err)
+	}
+}
+
+func TestInsertThenWriteSameTx(t *testing.T) {
+	e := newEnv(t, envConfig{})
+	co := e.nodes[0].Coordinator(0)
+	mustCommit(t, co, func(tx *Tx) error {
+		if err := tx.Insert(0, 60, []byte("v1")); err != nil {
+			return err
+		}
+		return tx.Write(0, 60, []byte("v2"))
+	})
+	v, err := readKey(t, co, 0, 60)
+	if err != nil || !bytes.HasPrefix(v, []byte("v2")) {
+		t.Fatalf("insert-then-write = (%q, %v)", v, err)
+	}
+}
+
+func TestInsertOfOwnDeletedKey(t *testing.T) {
+	// Delete an existing key, then insert it again within the same tx:
+	// the write-set entry flips back to an update.
+	e := newEnv(t, envConfig{})
+	e.preload(t, 0, 8, func(k kvlayout.Key) []byte { return val16(k, 0) })
+	co := e.nodes[0].Coordinator(0)
+	tx := co.Begin()
+	if err := tx.Delete(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// The engine reports ErrExists (the key is in the write-set); callers
+	// use Write for upsert-after-delete.
+	if err := tx.Insert(0, 5, []byte("back")); !errors.Is(err, ErrExists) {
+		t.Fatalf("insert over own delete: %v", err)
+	}
+	if err := tx.Write(0, 5, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := readKey(t, co, 0, 5)
+	if err != nil || !bytes.HasPrefix(v, []byte("back")) {
+		t.Fatalf("= (%q, %v)", v, err)
+	}
+}
+
+func TestDoubleDeleteAborts(t *testing.T) {
+	e := newEnv(t, envConfig{})
+	e.preload(t, 0, 8, func(k kvlayout.Key) []byte { return val16(k, 0) })
+	co1 := e.nodes[0].Coordinator(0)
+	co2 := e.nodes[1].Coordinator(0)
+	mustCommit(t, co1, func(tx *Tx) error { return tx.Delete(0, 6) })
+	tx := co2.Begin()
+	if err := tx.Delete(0, 6); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second delete err = %v, want ErrNotFound", err)
+	}
+	_ = tx.Abort()
+}
+
+func TestAbortIsIdempotentAndCheap(t *testing.T) {
+	e := newEnv(t, envConfig{})
+	e.preload(t, 0, 8, func(k kvlayout.Key) []byte { return val16(k, 0) })
+	co := e.nodes[0].Coordinator(0)
+	tx := co.Begin()
+	if err := tx.Write(0, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("second abort err = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("commit after abort err = %v", err)
+	}
+	// Locks are gone.
+	mustCommit(t, e.nodes[1].Coordinator(0), func(tx *Tx) error {
+		return tx.Write(0, 1, []byte("after"))
+	})
+}
+
+func TestEmptyTxCommit(t *testing.T) {
+	e := newEnv(t, envConfig{})
+	co := e.nodes[0].Coordinator(0)
+	tx := co.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("empty tx commit: %v", err)
+	}
+	if !tx.AckedCommit {
+		t.Fatal("empty tx not acked")
+	}
+}
+
+func TestLiveReplicasView(t *testing.T) {
+	e := newEnv(t, envConfig{memNodes: 3, replicas: 3})
+	cn := e.nodes[0]
+	p := uint32(0)
+	if got := len(cn.liveReplicas(p)); got != 3 {
+		t.Fatalf("liveReplicas = %d, want 3", got)
+	}
+	dead := e.ring.Replicas(p)[1]
+	cn.NotifyMemoryFailure(dead)
+	live := cn.liveReplicas(p)
+	if len(live) != 2 {
+		t.Fatalf("liveReplicas after failure = %d, want 2", len(live))
+	}
+	for _, n := range live {
+		if n == dead {
+			t.Fatal("dead replica still reported live")
+		}
+	}
+}
+
+func TestAccessorsAndDiagnostics(t *testing.T) {
+	e := newEnv(t, envConfig{})
+	e.preload(t, 0, 8, func(k kvlayout.Key) []byte { return val16(k, 0) })
+	cn := e.nodes[0]
+	co := cn.Coordinator(0)
+	if cn.ID() != 0 || cn.Options().Protocol != ProtocolPandora {
+		t.Fatal("accessor mismatch")
+	}
+	if co.Node() != cn {
+		t.Fatal("Coordinator.Node mismatch")
+	}
+	if len(co.LogServers()) != 2 {
+		t.Fatalf("LogServers = %v", co.LogServers())
+	}
+	if cn.FailedIDs().Count() != 0 {
+		t.Fatal("fresh node has failed ids")
+	}
+	tx := co.Begin()
+	if tx.ID() == 0 {
+		t.Fatal("tx id zero")
+	}
+	if tx.Done() {
+		t.Fatal("fresh tx done")
+	}
+	if _, err := tx.Read(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(0, 2, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if tx.ReadSetSize() != 1 || tx.WriteSetSize() != 1 {
+		t.Fatalf("set sizes = %d/%d", tx.ReadSetSize(), tx.WriteSetSize())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !tx.Done() {
+		t.Fatal("committed tx not done")
+	}
+}
+
+func TestStaleAddressCacheAfterDeleteAndReuse(t *testing.T) {
+	// A key is read (cached), deleted by another node, and its slot
+	// reused by a different key; the cached reader must re-resolve.
+	schema := []kvlayout.Table{{ID: 0, ValueSize: 16, Slots: 8}}
+	e := newEnv(t, envConfig{schema: schema, memNodes: 2, replicas: 2})
+	co1 := e.nodes[0].Coordinator(0)
+	co2 := e.nodes[1].Coordinator(0)
+
+	// Insert keys until two share a home neighbourhood; with 8 slots
+	// that is immediate.
+	mustCommit(t, co1, func(tx *Tx) error { return tx.Insert(0, 1, []byte("one")) })
+	// Node 0 caches key 1's address.
+	if _, err := readKey(t, co1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 deletes key 1 and inserts key 2 (which may reuse the slot).
+	mustCommit(t, co2, func(tx *Tx) error { return tx.Delete(0, 1) })
+	mustCommit(t, co2, func(tx *Tx) error { return tx.Insert(0, 2, []byte("two")) })
+
+	// Node 0's stale cache must not return key 2's value for key 1.
+	if v, err := readKey(t, co1, 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale cached read = (%q, %v), want ErrNotFound", v, err)
+	}
+	v, err := readKey(t, co1, 0, 2)
+	if err != nil || !bytes.HasPrefix(v, []byte("two")) {
+		t.Fatalf("key 2 = (%q, %v)", v, err)
+	}
+}
+
+func TestDebugHooksFire(t *testing.T) {
+	e := newEnv(t, envConfig{})
+	e.preload(t, 0, 8, func(k kvlayout.Key) []byte { return val16(k, 0) })
+	cn := e.nodes[0]
+	co := cn.Coordinator(0)
+
+	var commits, steals int
+	DebugCommit = func(kvlayout.CoordID, kvlayout.Key, uint64, uint64, uint64, uint16) { commits++ }
+	DebugSteal = func(kvlayout.CoordID, kvlayout.CoordID, kvlayout.Key) { steals++ }
+	defer func() { DebugCommit, DebugSteal = nil, nil }()
+
+	mustCommit(t, co, func(tx *Tx) error { return tx.Write(0, 1, []byte("w")) })
+	if commits != 1 {
+		t.Fatalf("DebugCommit fired %d times, want 1", commits)
+	}
+
+	// Plant a stray lock and steal it.
+	ref, _, _ := cn.resolve(co.ep, 0, 2)
+	primary, _, _ := cn.replicasFor(ref.partition)
+	if _, sw, _ := co.ep.CAS(cn.tableAddr(primary, ref, kvlayout.SlotLockOff), 0, kvlayout.LockWord(999, 1)); !sw {
+		t.Fatal("plant failed")
+	}
+	cn.NotifyStrayLocks([]kvlayout.CoordID{999})
+	mustCommit(t, co, func(tx *Tx) error { return tx.Write(0, 2, []byte("s")) })
+	if steals != 1 {
+		t.Fatalf("DebugSteal fired %d times, want 1", steals)
+	}
+}

@@ -1,0 +1,78 @@
+package fdetect
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"pandora/internal/kvlayout"
+)
+
+// Bitset is the compact failed-ids structure of §3.1.2: one bit per
+// possible coordinator-id (64K bits, 8 KB). Each compute server holds
+// its own copy, updated by stray-lock notifications; transactions
+// consult it on every lock/read conflict, so Test is a single atomic
+// load — O(1) regardless of how many coordinators have failed over the
+// system's lifetime.
+type Bitset struct {
+	words [kvlayout.MaxCoordIDs / 64]atomic.Uint64
+}
+
+// NewBitset returns an empty bitset.
+func NewBitset() *Bitset { return &Bitset{} }
+
+// Set marks id failed.
+func (b *Bitset) Set(id kvlayout.CoordID) {
+	w, bit := int(id)/64, uint(id)%64
+	for {
+		old := b.words[w].Load()
+		if old&(1<<bit) != 0 || b.words[w].CompareAndSwap(old, old|1<<bit) {
+			return
+		}
+	}
+}
+
+// Clear unmarks id (used when recycling coordinator-ids).
+func (b *Bitset) Clear(id kvlayout.CoordID) {
+	w, bit := int(id)/64, uint(id)%64
+	for {
+		old := b.words[w].Load()
+		if old&(1<<bit) == 0 || b.words[w].CompareAndSwap(old, old&^(1<<bit)) {
+			return
+		}
+	}
+}
+
+// Test reports whether id is marked failed.
+func (b *Bitset) Test(id kvlayout.CoordID) bool {
+	return b.words[int(id)/64].Load()&(1<<(uint(id)%64)) != 0
+}
+
+// Count returns the number of marked ids.
+func (b *Bitset) Count() int {
+	n := 0
+	for i := range b.words {
+		n += bits.OnesCount64(b.words[i].Load())
+	}
+	return n
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+}
+
+// IDs returns every marked id, ascending. Used by the recycling scan.
+func (b *Bitset) IDs() []kvlayout.CoordID {
+	var out []kvlayout.CoordID
+	for i := range b.words {
+		w := b.words[i].Load()
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, kvlayout.CoordID(i*64+bit))
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+// Package fdetect implements the failure detector (FD) of §3.2.2 and
+// §3.2.4. The FD is an independent service that:
+//
+//   - assigns each spawned coordinator a unique 16-bit coordinator-id
+//     (spawns are strictly serialised, so ids are never reused while
+//     their stray locks may exist);
+//   - exchanges heartbeats with compute and memory servers and declares
+//     a server failed after a timeout (5 ms in the paper's evaluation);
+//   - maintains the authoritative failed-ids set and triggers the
+//     coordinator-id recycling scan when 95% of the id space is used;
+//   - in the distributed configuration, replicates its state over a
+//     quorum ensemble (package quorum) and declares a node failed only
+//     when a majority of FD replicas have missed its heartbeats.
+//
+// The FD reports failures to subscribers (the recovery manager); it does
+// not itself notify compute servers, because the stray-lock notification
+// must strictly follow log recovery (Cor4).
+package fdetect
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"pandora/internal/kvlayout"
+	"pandora/internal/quorum"
+	"pandora/internal/rdma"
+)
+
+// NodeKind classifies a monitored server.
+type NodeKind int
+
+// Monitored server kinds.
+const (
+	Compute NodeKind = iota
+	Memory
+)
+
+// Event reports one detected failure.
+type Event struct {
+	Kind NodeKind
+	Node rdma.NodeID
+	// Coords lists the coordinator-ids hosted by a failed compute node.
+	Coords []kvlayout.CoordID
+}
+
+// Config parameterises the detector.
+type Config struct {
+	// Timeout after which a silent node is declared failed. Default 5 ms
+	// (the paper's setting).
+	Timeout time.Duration
+	// CheckInterval between sweeps of the heartbeat table. Default 1 ms.
+	CheckInterval time.Duration
+	// Now is the clock; defaults to time.Now. Tests inject a fake.
+	Now func() time.Time
+	// Replicas is the number of FD replicas. 1 (default) is the
+	// standalone FD; an odd number >= 3 gives the distributed FD, which
+	// declares a node failed only when a majority of replicas have
+	// missed its heartbeats.
+	Replicas int
+	// Store optionally persists FD state (next coordinator-id, failed
+	// ids) to a quorum ensemble so that a restarted FD resumes safely.
+	Store *quorum.Store
+	// RecycleThreshold is the fraction of the coordinator-id space that
+	// triggers the recycling scan. Default 0.95.
+	RecycleThreshold float64
+	// OnRecycle runs (once per crossing) when the threshold is reached;
+	// the cluster wires this to the stray-lock scan of §3.1.2.
+	OnRecycle func()
+}
+
+func (c *Config) fillDefaults() {
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Millisecond
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.RecycleThreshold == 0 {
+		c.RecycleThreshold = 0.95
+	}
+}
+
+type nodeInfo struct {
+	kind   NodeKind
+	coords []kvlayout.CoordID
+	lastHB []time.Time // one per FD replica
+	failed bool
+}
+
+// Detector is the failure detector service.
+type Detector struct {
+	cfg Config
+
+	mu          sync.Mutex
+	nodes       map[rdma.NodeID]*nodeInfo
+	replicaDown []bool
+	nextCoord   uint64
+	failed      *Bitset
+	subs        []func(Event)
+	recycled    bool
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New creates a detector. Call Start to begin heartbeat monitoring;
+// registration, id allocation and MarkFailed work without Start (used by
+// deterministic tests and benches).
+func New(cfg Config) *Detector {
+	cfg.fillDefaults()
+	if cfg.Replicas > 1 && cfg.Replicas%2 == 0 {
+		panic("fdetect: replica count must be odd")
+	}
+	d := &Detector{
+		cfg:         cfg,
+		nodes:       make(map[rdma.NodeID]*nodeInfo),
+		replicaDown: make([]bool, cfg.Replicas),
+		failed:      NewBitset(),
+		stopCh:      make(chan struct{}),
+	}
+	d.restore()
+	return d
+}
+
+// restore loads persisted state from the quorum store, if configured.
+func (d *Detector) restore() {
+	if d.cfg.Store == nil {
+		return
+	}
+	if v, ok, err := d.cfg.Store.Get("fd/nextCoord"); err == nil && ok {
+		d.nextCoord = binary.LittleEndian.Uint64(v)
+	}
+	if v, ok, err := d.cfg.Store.Get("fd/failed"); err == nil && ok {
+		for i := 0; i+2 <= len(v); i += 2 {
+			d.failed.Set(kvlayout.CoordID(binary.LittleEndian.Uint16(v[i:])))
+		}
+	}
+}
+
+func (d *Detector) persist() {
+	if d.cfg.Store == nil {
+		return
+	}
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], d.nextCoord)
+	_ = d.cfg.Store.Put("fd/nextCoord", w[:])
+	ids := d.failed.IDs()
+	buf := make([]byte, 2*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(id))
+	}
+	_ = d.cfg.Store.Put("fd/failed", buf)
+}
+
+// RegisterCompute registers a compute node hosting n coordinators and
+// returns their freshly allocated coordinator-ids. Spawns are strictly
+// serialised (§3.1.2).
+func (d *Detector) RegisterCompute(node rdma.NodeID, n int) ([]kvlayout.CoordID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.nextCoord+uint64(n) > kvlayout.MaxCoordIDs {
+		return nil, fmt.Errorf("fdetect: coordinator-id space exhausted (%d used)", d.nextCoord)
+	}
+	ids := make([]kvlayout.CoordID, n)
+	for i := range ids {
+		ids[i] = kvlayout.CoordID(d.nextCoord)
+		d.nextCoord++
+	}
+	info := d.nodes[node]
+	if info == nil {
+		info = &nodeInfo{kind: Compute, lastHB: d.freshHB()}
+		d.nodes[node] = info
+	}
+	// A (re-)registration is a fresh process: it replaces the node's
+	// coordinator set. The previous ids stay failed forever (until
+	// recycled), so failure events must report only the current ids —
+	// otherwise recovery would look at stale log areas and miss the
+	// live coordinators' state.
+	info.failed = false
+	info.lastHB = d.freshHB()
+	info.coords = append([]kvlayout.CoordID{}, ids...)
+	d.persist()
+	return ids, nil
+}
+
+// RegisterMemory registers a memory node for monitoring.
+func (d *Detector) RegisterMemory(node rdma.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.nodes[node] == nil {
+		d.nodes[node] = &nodeInfo{kind: Memory, lastHB: d.freshHB()}
+	}
+}
+
+func (d *Detector) freshHB() []time.Time {
+	now := d.cfg.Now()
+	hb := make([]time.Time, d.cfg.Replicas)
+	for i := range hb {
+		hb[i] = now
+	}
+	return hb
+}
+
+// Heartbeat records a heartbeat from node at every live FD replica
+// (RDMA-based heartbeats reach all replicas, §3.2.4).
+func (d *Detector) Heartbeat(node rdma.NodeID) {
+	now := d.cfg.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info := d.nodes[node]
+	if info == nil || info.failed {
+		return
+	}
+	for i := range info.lastHB {
+		if !d.replicaDown[i] {
+			info.lastHB[i] = now
+		}
+	}
+}
+
+// CrashReplica fail-stops FD replica i; it stops receiving heartbeats
+// and stops counting toward detection majorities.
+func (d *Detector) CrashReplica(i int) {
+	d.mu.Lock()
+	d.replicaDown[i] = true
+	d.mu.Unlock()
+}
+
+// RestartReplica brings FD replica i back; it resumes with fresh
+// heartbeat state so it cannot immediately vote a live node out.
+func (d *Detector) RestartReplica(i int) {
+	now := d.cfg.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.replicaDown[i] = false
+	for _, info := range d.nodes {
+		info.lastHB[i] = now
+	}
+}
+
+// Subscribe registers a failure-event callback, invoked synchronously
+// from the detection path. The recovery manager subscribes here.
+func (d *Detector) Subscribe(fn func(Event)) {
+	d.mu.Lock()
+	d.subs = append(d.subs, fn)
+	d.mu.Unlock()
+}
+
+// Start launches the heartbeat-sweep loop.
+func (d *Detector) Start() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(d.cfg.CheckInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stopCh:
+				return
+			case <-t.C:
+				d.sweep()
+			}
+		}
+	}()
+}
+
+// Stop terminates the sweep loop.
+func (d *Detector) Stop() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	d.wg.Wait()
+}
+
+// sweep declares failed every node whose heartbeats have expired at a
+// majority of live FD replicas.
+func (d *Detector) sweep() {
+	now := d.cfg.Now()
+	var events []Event
+	d.mu.Lock()
+	needed := d.cfg.Replicas/2 + 1
+	for id, info := range d.nodes {
+		if info.failed {
+			continue
+		}
+		expired := 0
+		for i, hb := range info.lastHB {
+			if d.replicaDown[i] {
+				continue
+			}
+			if now.Sub(hb) > d.cfg.Timeout {
+				expired++
+			}
+		}
+		if expired >= needed {
+			events = append(events, d.markFailedLocked(id, info))
+		}
+	}
+	subs := append([]func(Event){}, d.subs...)
+	d.mu.Unlock()
+	for _, ev := range events {
+		for _, fn := range subs {
+			fn(ev)
+		}
+	}
+}
+
+// MarkFailed declares node failed immediately, bypassing heartbeat
+// timing. Deterministic tests and failure-emulation benches use this;
+// production flow uses Start + heartbeats.
+func (d *Detector) MarkFailed(node rdma.NodeID) (Event, bool) {
+	d.mu.Lock()
+	info := d.nodes[node]
+	if info == nil || info.failed {
+		d.mu.Unlock()
+		return Event{}, false
+	}
+	ev := d.markFailedLocked(node, info)
+	subs := append([]func(Event){}, d.subs...)
+	d.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+	return ev, true
+}
+
+func (d *Detector) markFailedLocked(node rdma.NodeID, info *nodeInfo) Event {
+	info.failed = true
+	ev := Event{Kind: info.kind, Node: node, Coords: append([]kvlayout.CoordID(nil), info.coords...)}
+	if info.kind == Compute {
+		for _, c := range info.coords {
+			d.failed.Set(c)
+		}
+		d.persist()
+		d.maybeRecycleLocked()
+	}
+	return ev
+}
+
+// maybeRecycleLocked fires OnRecycle when the used fraction of the id
+// space crosses the threshold.
+func (d *Detector) maybeRecycleLocked() {
+	if d.recycled || d.cfg.OnRecycle == nil {
+		return
+	}
+	if float64(d.nextCoord)/float64(kvlayout.MaxCoordIDs) >= d.cfg.RecycleThreshold {
+		d.recycled = true
+		fn := d.cfg.OnRecycle
+		go fn()
+	}
+}
+
+// ResetIDSpace completes a recycling pass: with every stray lock of the
+// failed coordinators released, their ids become reusable.
+func (d *Detector) ResetIDSpace() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed.Reset()
+	d.nextCoord = 0
+	d.recycled = false
+	d.persist()
+}
+
+// FailedIDs returns the FD's authoritative failed-ids set.
+func (d *Detector) FailedIDs() *Bitset { return d.failed }
+
+// UsedIDs returns how many coordinator-ids have been handed out.
+func (d *Detector) UsedIDs() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nextCoord
+}
+
+// IsFailed reports whether node has been declared failed.
+func (d *Detector) IsFailed(node rdma.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info := d.nodes[node]
+	return info != nil && info.failed
+}

@@ -1,0 +1,311 @@
+package fdetect
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pandora/internal/kvlayout"
+	"pandora/internal/quorum"
+	"pandora/internal/rdma"
+)
+
+// fakeClock is a manually advanced clock for deterministic detection
+// tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBitsetSetTestClear(t *testing.T) {
+	b := NewBitset()
+	prop := func(id uint16) bool {
+		c := kvlayout.CoordID(id)
+		if b.Test(c) {
+			return true // may collide with earlier iteration; skip
+		}
+		b.Set(c)
+		if !b.Test(c) {
+			return false
+		}
+		b.Clear(c)
+		return !b.Test(c)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetCountAndIDs(t *testing.T) {
+	b := NewBitset()
+	ids := []kvlayout.CoordID{0, 1, 63, 64, 65, 1000, 65535}
+	for _, id := range ids {
+		b.Set(id)
+		b.Set(id) // idempotent
+	}
+	if b.Count() != len(ids) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(ids))
+	}
+	got := b.IDs()
+	if len(got) != len(ids) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("IDs[%d] = %d, want %d", i, got[i], ids[i])
+		}
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCoordIDAllocationUniqueAndSerial(t *testing.T) {
+	d := New(Config{})
+	seen := map[kvlayout.CoordID]bool{}
+	for node := rdma.NodeID(0); node < 8; node++ {
+		ids, err := d.RegisterCompute(node, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("coordinator-id %d allocated twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	if d.UsedIDs() != 128 {
+		t.Fatalf("UsedIDs = %d, want 128", d.UsedIDs())
+	}
+}
+
+func TestCoordIDExhaustion(t *testing.T) {
+	d := New(Config{})
+	if _, err := d.RegisterCompute(0, kvlayout.MaxCoordIDs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RegisterCompute(1, 1); err == nil {
+		t.Fatal("allocation past the id space succeeded")
+	}
+}
+
+func TestHeartbeatTimeoutDetection(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	d := New(Config{Timeout: 5 * time.Millisecond, Now: clk.Now})
+	ids, _ := d.RegisterCompute(1, 2)
+	d.RegisterMemory(2)
+
+	var mu sync.Mutex
+	var events []Event
+	d.Subscribe(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	// Node 2 keeps beating; node 1 goes silent.
+	clk.Advance(4 * time.Millisecond)
+	d.Heartbeat(2)
+	d.sweep()
+	mu.Lock()
+	n := len(events)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatalf("premature failure events: %+v", events)
+	}
+
+	clk.Advance(2 * time.Millisecond) // node 1 now 6ms silent, node 2 only 2ms
+	d.sweep()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1: %+v", len(events), events)
+	}
+	ev := events[0]
+	if ev.Node != 1 || ev.Kind != Compute || len(ev.Coords) != 2 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Coords[0] != ids[0] || ev.Coords[1] != ids[1] {
+		t.Fatalf("event coords = %v, want %v", ev.Coords, ids)
+	}
+	if !d.IsFailed(1) || d.IsFailed(2) {
+		t.Fatal("IsFailed state wrong")
+	}
+	// Failed ids recorded.
+	if !d.FailedIDs().Test(ids[0]) || !d.FailedIDs().Test(ids[1]) {
+		t.Fatal("failed ids not recorded in bitset")
+	}
+}
+
+func TestNoDuplicateFailureEvents(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	d := New(Config{Timeout: 5 * time.Millisecond, Now: clk.Now})
+	d.RegisterCompute(1, 1)
+	count := 0
+	d.Subscribe(func(Event) { count++ })
+	clk.Advance(10 * time.Millisecond)
+	d.sweep()
+	d.sweep()
+	if _, ok := d.MarkFailed(1); ok {
+		t.Fatal("MarkFailed on already-failed node reported ok")
+	}
+	if count != 1 {
+		t.Fatalf("failure reported %d times, want 1", count)
+	}
+}
+
+func TestDistributedMajorityDetection(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	d := New(Config{Timeout: 5 * time.Millisecond, Now: clk.Now, Replicas: 3})
+	d.RegisterCompute(1, 1)
+	var events []Event
+	d.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	// One FD replica crashes: heartbeats only reach replicas 1 and 2,
+	// which is still a majority — the node must not be declared failed.
+	d.CrashReplica(0)
+	for i := 0; i < 5; i++ {
+		clk.Advance(2 * time.Millisecond)
+		d.Heartbeat(1)
+		d.sweep()
+	}
+	if len(events) != 0 {
+		t.Fatalf("false positive with one FD replica down: %+v", events)
+	}
+
+	// The node truly goes silent: both live replicas expire.
+	clk.Advance(6 * time.Millisecond)
+	d.sweep()
+	if len(events) != 1 {
+		t.Fatalf("missed real failure: %+v", events)
+	}
+}
+
+func TestDistributedRestartedReplicaDoesNotFalselyVote(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	d := New(Config{Timeout: 5 * time.Millisecond, Now: clk.Now, Replicas: 3})
+	d.RegisterCompute(1, 1)
+	var events []Event
+	d.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	d.CrashReplica(0)
+	clk.Advance(100 * time.Millisecond)
+	d.Heartbeat(1) // fresh at replicas 1,2; stale at 0
+	d.RestartReplica(0)
+	d.sweep()
+	if len(events) != 0 {
+		t.Fatalf("restarted replica's stale view caused a false positive: %+v", events)
+	}
+}
+
+func TestEvenReplicaCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even replica count accepted")
+		}
+	}()
+	New(Config{Replicas: 2})
+}
+
+func TestQuorumPersistenceAcrossFDRestart(t *testing.T) {
+	store := quorum.NewStore(3)
+	d1 := New(Config{Store: store})
+	ids, _ := d1.RegisterCompute(1, 4)
+	d1.MarkFailed(1)
+
+	// FD crashes and a fresh instance recovers its state from the
+	// ensemble (§3.2.4: FD failures can be repeated without violating
+	// correctness).
+	d2 := New(Config{Store: store})
+	if d2.UsedIDs() != 4 {
+		t.Fatalf("restarted FD UsedIDs = %d, want 4", d2.UsedIDs())
+	}
+	for _, id := range ids {
+		if !d2.FailedIDs().Test(id) {
+			t.Fatalf("restarted FD lost failed id %d", id)
+		}
+	}
+	// New allocations must not collide with pre-restart ids.
+	more, err := d2.RegisterCompute(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range more {
+		for _, old := range ids {
+			if id == old {
+				t.Fatalf("restarted FD reallocated id %d", id)
+			}
+		}
+	}
+}
+
+func TestRecycleTriggerAndReset(t *testing.T) {
+	done := make(chan struct{})
+	d := New(Config{RecycleThreshold: 0.5, OnRecycle: func() { close(done) }})
+	if _, err := d.RegisterCompute(1, kvlayout.MaxCoordIDs/2); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkFailed(1)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("recycling scan not triggered at threshold")
+	}
+	d.ResetIDSpace()
+	if d.UsedIDs() != 0 || d.FailedIDs().Count() != 0 {
+		t.Fatal("ResetIDSpace did not clear state")
+	}
+	// The id space is reusable again.
+	if _, err := d.RegisterCompute(2, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartStopLiveDetection(t *testing.T) {
+	d := New(Config{Timeout: 20 * time.Millisecond, CheckInterval: 5 * time.Millisecond})
+	d.RegisterCompute(1, 1)
+	failed := make(chan Event, 1)
+	d.Subscribe(func(ev Event) {
+		select {
+		case failed <- ev:
+		default:
+		}
+	})
+	d.Start()
+	defer d.Stop()
+
+	// Keep beating for a while: no failure.
+	for i := 0; i < 5; i++ {
+		d.Heartbeat(1)
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case ev := <-failed:
+		t.Fatalf("false positive while heartbeating: %+v", ev)
+	default:
+	}
+	// Go silent: failure within a few sweep intervals.
+	select {
+	case ev := <-failed:
+		if ev.Node != 1 {
+			t.Fatalf("wrong node failed: %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("silent node never declared failed")
+	}
+}

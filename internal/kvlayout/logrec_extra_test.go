@@ -1,0 +1,111 @@
+package kvlayout
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestTombstoneSlotNotPresent(t *testing.T) {
+	tab := Table{ValueSize: 8, Slots: 8}
+	buf := make([]byte, tab.SlotSize())
+	binary.LittleEndian.PutUint64(buf[SlotKeyOff:], TombstoneKeyField)
+	s := tab.DecodeSlot(buf)
+	if s.Present {
+		t.Fatal("tombstoned slot decoded as present")
+	}
+}
+
+func TestDecodeLogRecordsMultiple(t *testing.T) {
+	r1 := LogRecord{TxID: 1, Coord: 7, Writes: []LogWrite{{Table: 0, Key: 10, OldValue: []byte("aa")}}}
+	r2 := LogRecord{TxID: 2, Coord: 7, Writes: []LogWrite{{Table: 1, Key: 20, OldValue: []byte("bbbb")}}}
+	r3 := LogRecord{TxID: 3, Coord: 7}
+	area := make([]byte, LogAreaSize)
+	off := 0
+	for _, r := range []LogRecord{r1, r2, r3} {
+		b := r.Encode()
+		copy(area[off:], b)
+		off += len(b)
+	}
+	recs := DecodeLogRecords(area)
+	if len(recs) != 3 {
+		t.Fatalf("decoded %d records, want 3", len(recs))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if recs[i].TxID != want {
+			t.Fatalf("record %d txID = %d, want %d", i, recs[i].TxID, want)
+		}
+	}
+	// Truncating the first record hides everything.
+	copy(area, TruncateWord[:])
+	if got := DecodeLogRecords(area); len(got) != 0 {
+		t.Fatalf("truncated area decoded %d records", len(got))
+	}
+}
+
+func TestDecodeLogRecordsEmptyArea(t *testing.T) {
+	if got := DecodeLogRecords(make([]byte, LogAreaSize)); len(got) != 0 {
+		t.Fatalf("empty area decoded %d records", len(got))
+	}
+}
+
+func lockLogArea() []byte { return make([]byte, LogAreaSize-LockLogOff) }
+
+func TestLockIntentRoundTrip(t *testing.T) {
+	area := lockLogArea()
+	in := []LockIntent{
+		{TxID: 5, Table: 2, Key: 100, Slot: 17, Partition: 3},
+		{TxID: 5, Table: 1, Key: 200, Slot: 9, Partition: 0},
+	}
+	off := 8
+	for _, li := range in {
+		copy(area[off:], EncodeLockIntent(li))
+		off += LockIntentSize
+	}
+	got := DecodeLockIntents(area)
+	if len(got) != 2 {
+		t.Fatalf("decoded %d intents, want 2", len(got))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("intent %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestLockIntentLatestTxOnly(t *testing.T) {
+	area := lockLogArea()
+	// Old tx 4 wrote three entries; new tx 5 overwrote the first two.
+	copy(area[8:], EncodeLockIntent(LockIntent{TxID: 5, Key: 1}))
+	copy(area[8+LockIntentSize:], EncodeLockIntent(LockIntent{TxID: 5, Key: 2}))
+	copy(area[8+2*LockIntentSize:], EncodeLockIntent(LockIntent{TxID: 4, Key: 99}))
+	got := DecodeLockIntents(area)
+	if len(got) != 2 {
+		t.Fatalf("decoded %d intents, want 2 (latest tx only): %+v", len(got), got)
+	}
+	for _, li := range got {
+		if li.TxID != 5 {
+			t.Fatalf("stale intent leaked: %+v", li)
+		}
+	}
+}
+
+func TestLockIntentFloorTruncation(t *testing.T) {
+	area := lockLogArea()
+	copy(area[8:], EncodeLockIntent(LockIntent{TxID: 5, Key: 1}))
+	// Recovery raises the floor to 5: entry becomes invisible.
+	binary.LittleEndian.PutUint64(area, 5)
+	if got := DecodeLockIntents(area); len(got) != 0 {
+		t.Fatalf("floored intent still decoded: %+v", got)
+	}
+}
+
+func TestLockIntentGarbageIgnored(t *testing.T) {
+	area := lockLogArea()
+	for i := range area {
+		area[i] = 0x5a
+	}
+	binary.LittleEndian.PutUint64(area, 0)
+	if got := DecodeLockIntents(area); len(got) != 0 {
+		t.Fatalf("garbage decoded as %d intents", len(got))
+	}
+}

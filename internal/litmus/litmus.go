@@ -1,0 +1,431 @@
+// Package litmus is the paper's end-to-end litmus-testing framework
+// (§5): small, carefully constructed concurrent transactions whose
+// final application-observable state reveals strict-serializability and
+// recovery bugs, validated with a client-centric checker in the style
+// of Crooks et al. [19] — no history collection needed.
+//
+// Each test declares its transactions twice: a real execution against
+// the cluster, and a pure model function over an in-memory state. After
+// a run (with randomly injected crashes and the subsequent recovery),
+// the checker enumerates every serial order of every admissible subset
+// of the transactions — commit-acknowledged transactions must be
+// included, abort-acknowledged ones must be excluded, unacknowledged
+// crashed ones may go either way — and flags a violation when the
+// observed state matches none of the reachable states. This is exactly
+// the paper's "application-observable state" method, extended to cover
+// the recovery protocol (Cor2/Cor3) by construction.
+package litmus
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	pandora "pandora"
+	"pandora/internal/core"
+	"pandora/internal/kvlayout"
+	"pandora/internal/rdma"
+)
+
+// Model is the abstract state a litmus test manipulates: named variables
+// with integer values; absent variables are not in the map.
+type Model map[string]uint64
+
+// clone copies a model.
+func (m Model) clone() Model {
+	out := make(Model, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// key renders a model state canonically for set membership.
+func (m Model) key() string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, k := range names {
+		s += fmt.Sprintf("%s=%d;", k, m[k])
+	}
+	return s
+}
+
+// TxSpec is one litmus transaction: the real execution and its model
+// semantics.
+type TxSpec struct {
+	Name string
+	// Run executes the transaction body against real keys; the harness
+	// handles Begin/Commit.
+	Run func(tx *pandora.Tx, key func(string) pandora.Key) error
+	// Apply is the transaction's effect on the model (assuming it
+	// commits in isolation at this point of the serial order).
+	Apply func(m Model)
+}
+
+// Test is one litmus test.
+type Test struct {
+	Name string
+	// Vars are the model variables; Preloaded vars start at 0, the rest
+	// start absent (insert variants).
+	Vars      []string
+	Preloaded bool
+	Txs       []TxSpec
+}
+
+// Violation reports one observed serializability/recovery violation.
+type Violation struct {
+	Test      string
+	Iteration int
+	Observed  string
+	Reachable []string
+	Statuses  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s[iter %d]: observed {%s} with statuses %s; reachable: %v",
+		v.Test, v.Iteration, v.Observed, v.Statuses, v.Reachable)
+}
+
+// Config parameterises a validation run.
+type Config struct {
+	Protocol core.Protocol
+	Bugs     core.Bugs
+	// Iterations per test (default 400).
+	Iterations int
+	Seed       int64
+	// CrashMidTx is the probability of arming a random-point crash
+	// injector on the victim node for an iteration (default 0.3 when
+	// crashes enabled).
+	CrashMidTx float64
+	// CrashAfterTxs is the probability of fail-stopping the victim after
+	// the workers finish but before recovery (default 0.2).
+	CrashAfterTxs float64
+	// NoCrashes disables fault injection entirely (pure C1 validation).
+	NoCrashes bool
+	// Jitter adds random delays after validation to widen race windows.
+	Jitter bool
+}
+
+func (c *Config) fill() {
+	if c.Iterations == 0 {
+		c.Iterations = 400
+	}
+	if !c.NoCrashes {
+		// Default probabilities apply only when the caller set neither.
+		if c.CrashMidTx == 0 && c.CrashAfterTxs == 0 {
+			c.CrashMidTx = 0.3
+			c.CrashAfterTxs = 0.2
+		}
+	} else {
+		c.CrashMidTx, c.CrashAfterTxs = 0, 0
+	}
+}
+
+// Report aggregates a run.
+type Report struct {
+	Test       string
+	Iterations int
+	Crashes    int
+	Recoveries int
+	Committed  int
+	Aborted    int
+	Unknown    int
+	Violations []Violation
+}
+
+// txStatus is the client-visible fate of one transaction.
+type txStatus int
+
+const (
+	statusAborted txStatus = iota
+	statusCommitted
+	statusUnknown // crashed without an acknowledgement
+)
+
+func (s txStatus) String() string {
+	switch s {
+	case statusCommitted:
+		return "C"
+	case statusAborted:
+		return "A"
+	default:
+		return "?"
+	}
+}
+
+// RunTest executes one litmus test under cfg and returns its report.
+func RunTest(t Test, cfg Config) (Report, error) {
+	cfg.fill()
+	rep := Report{Test: t.Name, Iterations: cfg.Iterations}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(len(t.Name))))
+
+	varsPerIter := len(t.Vars)
+	cluster, err := pandora.New(pandora.Config{
+		ComputeNodes:        2,
+		CoordinatorsPerNode: (len(t.Txs)+1)/2 + 1,
+		Protocol:            cfg.Protocol,
+		SeedBugs:            cfg.Bugs,
+		Tables: []pandora.TableSpec{
+			{Name: "litmus", ValueSize: 16, Capacity: cfg.Iterations*varsPerIter + 64},
+		},
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer cluster.Close()
+
+	if t.Preloaded {
+		n := cfg.Iterations * varsPerIter
+		if err := cluster.LoadN("litmus", n, func(pandora.Key) []byte { return make([]byte, 16) }); err != nil {
+			return rep, err
+		}
+	}
+	if cfg.Jitter {
+		for i := 0; i < cluster.ComputeNodes(); i++ {
+			// A post-validation stall much larger than the goroutine
+			// start skew aligns concurrent transactions at the
+			// validation fence, maximising the overlap that exposes
+			// validation-ordering bugs. (Each engine gets its own rand
+			// source; the hook runs on worker goroutines.)
+			jr := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			var mu sync.Mutex
+			cluster.Engine(i).SetPostValidateDelay(func() {
+				mu.Lock()
+				d := time.Duration(100+jr.Int63n(200)) * time.Microsecond
+				mu.Unlock()
+				time.Sleep(d)
+			})
+			// Stall between a read and the subsequent lock acquisitions
+			// too, so concurrent transactions overlap in their execution
+			// phases rather than racing through back-to-back.
+			cluster.Engine(i).SetLocalWork(func() {
+				mu.Lock()
+				d := time.Duration(50+jr.Int63n(150)) * time.Microsecond
+				mu.Unlock()
+				time.Sleep(d)
+			})
+		}
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		base := pandora.Key(iter * varsPerIter)
+		keyOf := func(name string) pandora.Key {
+			for i, v := range t.Vars {
+				if v == name {
+					return base + pandora.Key(i)
+				}
+			}
+			panic("litmus: unknown variable " + name)
+		}
+
+		// Arm a random-point crash on the victim node (node 0) for some
+		// iterations.
+		if rng.Float64() < cfg.CrashMidTx {
+			point := core.CrashPoint(rng.Intn(int(core.PointAfterTruncate) + 1))
+			var once sync.Once
+			fired := false
+			cluster.Engine(0).SetInjector(func(_ kvlayout.CoordID, p core.CrashPoint) bool {
+				if p != point {
+					return false
+				}
+				once.Do(func() { fired = true })
+				return fired
+			})
+		} else {
+			cluster.Engine(0).SetInjector(nil)
+		}
+
+		// Run the transactions concurrently, split across the two
+		// compute nodes. A start barrier makes them genuinely race:
+		// without it, goroutine spawn skew lets the first transaction
+		// finish before the second begins.
+		statuses := make([]txStatus, len(t.Txs))
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i, spec := range t.Txs {
+			wg.Add(1)
+			go func(i int, spec TxSpec) {
+				defer wg.Done()
+				node := i % 2
+				coord := i / 2
+				sess := cluster.Session(node, coord)
+				<-start
+				tx := sess.Begin()
+				err := spec.Run(tx, keyOf)
+				if err == nil {
+					err = tx.Commit()
+				} else if !tx.Done() {
+					_ = tx.Abort()
+				}
+				switch {
+				case err == nil || tx.CommitAcked():
+					statuses[i] = statusCommitted
+				case tx.AbortAcked() || pandora.IsAborted(err) ||
+					errors.Is(err, pandora.ErrExists) || errors.Is(err, pandora.ErrNotFound):
+					statuses[i] = statusAborted
+				case errors.Is(err, rdma.ErrCrashed):
+					statuses[i] = statusUnknown
+				default:
+					statuses[i] = statusAborted
+				}
+			}(i, spec)
+		}
+		close(start)
+		wg.Wait()
+
+		// Possibly crash the victim after the transactions ("inject
+		// crashes after any operation" includes after completion).
+		if !cluster.Engine(0).Crashed() && rng.Float64() < cfg.CrashAfterTxs {
+			cluster.CrashCompute(0)
+		}
+
+		// Detect + recover + restart if the victim died this iteration.
+		if cluster.Engine(0).Crashed() {
+			rep.Crashes++
+			if _, err := cluster.FailCompute(0); err != nil {
+				return rep, fmt.Errorf("recovery failed: %w", err)
+			}
+			rep.Recoveries++
+			if err := cluster.RestartCompute(0); err != nil {
+				return rep, fmt.Errorf("restart failed: %w", err)
+			}
+		}
+
+		for _, s := range statuses {
+			switch s {
+			case statusCommitted:
+				rep.Committed++
+			case statusAborted:
+				rep.Aborted++
+			default:
+				rep.Unknown++
+			}
+		}
+
+		// Observe the final state from the survivor node.
+		observed, err := observe(cluster, t, keyOf)
+		if err != nil {
+			return rep, fmt.Errorf("observation failed: %w", err)
+		}
+
+		// Client-centric check.
+		reachable := reachableStates(t, statuses)
+		if _, ok := reachable[observed.key()]; !ok {
+			keys := make([]string, 0, len(reachable))
+			for k := range reachable {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			statusStr := ""
+			for i, s := range statuses {
+				statusStr += fmt.Sprintf("%s=%s ", t.Txs[i].Name, s)
+			}
+			rep.Violations = append(rep.Violations, Violation{
+				Test:      t.Name,
+				Iteration: iter,
+				Observed:  observed.key(),
+				Reachable: keys,
+				Statuses:  statusStr,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// observe reads the test's variables in one read-only transaction from
+// the survivor node.
+func observe(cluster *pandora.Cluster, t Test, keyOf func(string) pandora.Key) (Model, error) {
+	sess := cluster.Session(1, 0)
+	for attempt := 0; ; attempt++ {
+		m := make(Model)
+		tx := sess.Begin()
+		ok := true
+		for _, v := range t.Vars {
+			val, err := tx.Read("litmus", keyOf(v))
+			switch {
+			case err == nil:
+				m[v] = kvlayout.Uint64(val)
+			case errors.Is(err, pandora.ErrNotFound):
+				// absent
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			if err := tx.Commit(); err == nil {
+				return m, nil
+			}
+		} else if !tx.Done() {
+			_ = tx.Abort()
+		}
+		if attempt > 100 {
+			return nil, errors.New("litmus: observer transaction cannot commit")
+		}
+	}
+}
+
+// reachableStates enumerates the final model states consistent with the
+// transactions' acknowledgement statuses: committed ones appear in every
+// serial order, aborted ones in none, unknown ones in any subset.
+func reachableStates(t Test, statuses []txStatus) map[string]Model {
+	must := []int{}
+	may := []int{}
+	for i, s := range statuses {
+		switch s {
+		case statusCommitted:
+			must = append(must, i)
+		case statusUnknown:
+			may = append(may, i)
+		}
+	}
+	base := make(Model)
+	if t.Preloaded {
+		for _, v := range t.Vars {
+			base[v] = 0
+		}
+	}
+	out := make(map[string]Model)
+	for bits := 0; bits < 1<<len(may); bits++ {
+		set := append([]int{}, must...)
+		for j := range may {
+			if bits&(1<<j) != 0 {
+				set = append(set, may[j])
+			}
+		}
+		permute(set, func(order []int) {
+			m := base.clone()
+			for _, i := range order {
+				t.Txs[i].Apply(m)
+			}
+			out[m.key()] = m
+		})
+	}
+	return out
+}
+
+// permute calls fn with every permutation of ids.
+func permute(ids []int, fn func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(ids) {
+			fn(ids)
+			return
+		}
+		for i := k; i < len(ids); i++ {
+			ids[k], ids[i] = ids[i], ids[k]
+			rec(k + 1)
+			ids[k], ids[i] = ids[i], ids[k]
+		}
+	}
+	rec(0)
+}

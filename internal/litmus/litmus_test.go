@@ -1,0 +1,231 @@
+package litmus
+
+import (
+	"testing"
+
+	"pandora/internal/core"
+)
+
+// TestPandoraPassesAllLitmus is the headline validation: the fixed
+// Pandora protocol survives every litmus test with crash injection and
+// zero violations.
+func TestPandoraPassesAllLitmus(t *testing.T) {
+	reps, err := RunAll(Config{
+		Protocol:   core.ProtocolPandora,
+		Iterations: 150,
+		Seed:       1,
+		Jitter:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		if len(rep.Violations) != 0 {
+			t.Errorf("%s: %d violations, e.g. %s", rep.Test, len(rep.Violations), rep.Violations[0])
+		}
+		if rep.Committed == 0 {
+			t.Errorf("%s: nothing committed", rep.Test)
+		}
+		t.Logf("%s: %d iters, %d crashes, %d recoveries, C/A/?=%d/%d/%d",
+			rep.Test, rep.Iterations, rep.Crashes, rep.Recoveries, rep.Committed, rep.Aborted, rep.Unknown)
+	}
+}
+
+// TestFixedFORDBaselinePassesWithoutSeededBugs: the Baseline (FORD's
+// protocol + Pandora's recovery, all Table-1 fixes applied) also
+// validates cleanly.
+func TestFixedFORDBaselinePasses(t *testing.T) {
+	reps, err := RunAll(Config{
+		Protocol:   core.ProtocolFORD,
+		Iterations: 100,
+		Seed:       2,
+		Jitter:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		if len(rep.Violations) != 0 {
+			t.Errorf("%s: %d violations, e.g. %s", rep.Test, len(rep.Violations), rep.Violations[0])
+		}
+	}
+}
+
+func TestTradLogPassesLitmus(t *testing.T) {
+	rep, err := RunTest(Litmus3(), Config{
+		Protocol:   core.ProtocolTradLog,
+		Iterations: 120,
+		Seed:       3,
+		Jitter:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("%s under tradlog: %v", rep.Test, rep.Violations[0])
+	}
+}
+
+// seededBugCase describes one Table-1 bug: the protocol/bug flags to
+// seed, the litmus test that exposed it in the paper, and the run
+// configuration that reproduces it.
+type seededBugCase struct {
+	name  string
+	bugs  core.Bugs
+	proto core.Protocol
+	test  Test
+	cfg   func(*Config)
+}
+
+func seededBugs() []seededBugCase {
+	return []seededBugCase{
+		{
+			// C1 (Baseline & Pandora): the abort path releases locks the
+			// transaction never acquired.
+			name:  "complicit-abort",
+			bugs:  core.Bugs{ComplicitAbort: true},
+			proto: core.ProtocolPandora,
+			test:  Litmus1RMW(),
+			cfg:   func(c *Config) { c.NoCrashes = true },
+		},
+		{
+			// C2 (Baseline): inserts omitted from the undo log.
+			name:  "missing-insert-log",
+			bugs:  core.Bugs{MissingInsertLog: true},
+			proto: core.ProtocolFORD,
+			test:  Litmus1Insert(),
+		},
+		{
+			// C1: validation ignores the lock word.
+			name:  "covert-locks",
+			bugs:  core.Bugs{CovertLocks: true},
+			proto: core.ProtocolPandora,
+			test:  Litmus2(),
+			cfg:   func(c *Config) { c.NoCrashes = true },
+		},
+		{
+			// C1: validation overlaps lock acquisition.
+			name:  "relaxed-locks",
+			bugs:  core.Bugs{RelaxedLocks: true},
+			proto: core.ProtocolPandora,
+			test:  Litmus2(),
+			cfg:   func(c *Config) { c.NoCrashes = true },
+		},
+		{
+			// C2 (Baseline): logs of aborted transactions linger, so
+			// recovery misattributes later updates (needs crashes).
+			name:  "lost-decision",
+			bugs:  core.Bugs{LostDecision: true},
+			proto: core.ProtocolFORD,
+			test:  Litmus3LostDecision(),
+			cfg: func(c *Config) {
+				c.Jitter = false
+				c.CrashAfterTxs = 1.0
+				c.Iterations = 100
+			},
+		},
+		{
+			// C2 (Baseline): a log written before its lock CAS.
+			name:  "log-without-lock",
+			bugs:  core.Bugs{LostDecision: true, LogWithoutLock: true},
+			proto: core.ProtocolFORD,
+			test:  Litmus3LogWithoutLock(),
+			cfg: func(c *Config) {
+				c.Jitter = false
+				c.CrashAfterTxs = 1.0
+				c.Iterations = 80
+			},
+		},
+	}
+}
+
+// TestSeededBugsAreCaught reproduces Table 1: each seeded FORD bug is
+// detected by its litmus test.
+func TestSeededBugsAreCaught(t *testing.T) {
+	for _, bc := range seededBugs() {
+		bc := bc
+		t.Run(bc.name, func(t *testing.T) {
+			found := 0
+			for seed := int64(0); seed < 6 && found == 0; seed++ {
+				cfg := Config{
+					Protocol:   bc.proto,
+					Bugs:       bc.bugs,
+					Iterations: 400,
+					Seed:       seed*31 + 7,
+					Jitter:     true,
+				}
+				if bc.cfg != nil {
+					bc.cfg(&cfg)
+				}
+				rep, err := RunTest(bc.test, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				found += len(rep.Violations)
+				if found > 0 {
+					t.Logf("%s: caught %d violations (seed %d), e.g. %s",
+						bc.name, len(rep.Violations), seed, rep.Violations[0])
+				}
+			}
+			if found == 0 {
+				t.Fatalf("seeded bug %q was not caught by %s", bc.name, bc.test.Name)
+			}
+		})
+	}
+}
+
+// TestModelChecker sanity-checks the client-centric checker itself.
+func TestModelChecker(t *testing.T) {
+	lt := Litmus2()
+	// Both committed: X=1,Y=1 must NOT be reachable, X=2,Y=1 must be.
+	states := reachableStates(lt, []txStatus{statusCommitted, statusCommitted})
+	if _, bad := states[(Model{"X": 1, "Y": 1}).key()]; bad {
+		t.Fatal("checker admits the unserializable X=1,Y=1")
+	}
+	if _, ok := states[(Model{"X": 2, "Y": 1}).key()]; !ok {
+		t.Fatal("checker rejects the serial T1;T2 outcome")
+	}
+	if _, ok := states[(Model{"X": 1, "Y": 2}).key()]; !ok {
+		t.Fatal("checker rejects the serial T2;T1 outcome")
+	}
+	// One unknown: both with and without it are admissible.
+	states = reachableStates(lt, []txStatus{statusCommitted, statusUnknown})
+	if _, ok := states[(Model{"X": 0, "Y": 1}).key()]; !ok {
+		t.Fatal("checker rejects the T1-only outcome with T2 unknown")
+	}
+	if _, ok := states[(Model{"X": 2, "Y": 1}).key()]; !ok {
+		t.Fatal("checker rejects T1;T2 with T2 unknown")
+	}
+	// Aborted transactions contribute nothing.
+	states = reachableStates(lt, []txStatus{statusAborted, statusAborted})
+	if len(states) != 1 {
+		t.Fatalf("two aborted txs should leave exactly the initial state, got %d states", len(states))
+	}
+	if _, ok := states[(Model{"X": 0, "Y": 0}).key()]; !ok {
+		t.Fatal("initial state missing")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	count := 0
+	permute([]int{1, 2, 3}, func([]int) { count++ })
+	if count != 6 {
+		t.Fatalf("permute(3) produced %d orders, want 6", count)
+	}
+	count = 0
+	permute(nil, func([]int) { count++ })
+	if count != 1 {
+		t.Fatalf("permute(0) produced %d orders, want 1", count)
+	}
+}
+
+func TestModelKeyCanonical(t *testing.T) {
+	a := Model{"X": 1, "Y": 2}
+	b := Model{"Y": 2, "X": 1}
+	if a.key() != b.key() {
+		t.Fatal("model key not canonical")
+	}
+	if (Model{"X": 1}).key() == (Model{"X": 2}).key() {
+		t.Fatal("model key collision")
+	}
+}

@@ -1,0 +1,124 @@
+package litmus
+
+import (
+	"fmt"
+	"math/rand"
+
+	pandora "pandora"
+)
+
+// Random litmus generation: beyond the hand-written tests of §5, the
+// framework can generate arbitrary transaction programs together with
+// their exact model semantics and validate them with the same
+// client-centric checker. This is the "randomly generated transactions"
+// style of database testing (Jepsen-like), kept lightweight because no
+// histories are collected — only final states.
+//
+// Generated transactions are straight-line programs over a small set of
+// preloaded variables using two ops:
+//
+//	r_i := read(V)          — loads V into register i
+//	write(V, r_j + c)       — stores a derived value
+//
+// Registers create read-write dependencies between variables, so random
+// programs densely cover the dependency-cycle space the hand-written
+// litmus tests sample (direct-write, read-write, indirect-write, and
+// longer mixed cycles).
+
+// randOp is one operation of a generated transaction.
+type randOp struct {
+	isRead bool
+	varIdx int
+	reg    int    // write: register operand (-1 = none)
+	con    uint64 // write: constant addend
+}
+
+// genTx builds one random transaction over numVars variables with its
+// Run and Apply in lockstep.
+func genTx(rng *rand.Rand, name string, numVars, numOps int) TxSpec {
+	ops := make([]randOp, numOps)
+	regs := 0
+	for i := range ops {
+		if regs == 0 || rng.Intn(2) == 0 {
+			ops[i] = randOp{isRead: true, varIdx: rng.Intn(numVars)}
+			regs++
+		} else {
+			ops[i] = randOp{
+				isRead: false,
+				varIdx: rng.Intn(numVars),
+				reg:    rng.Intn(regs),
+				con:    uint64(rng.Intn(90) + 1),
+			}
+		}
+	}
+	varName := func(i int) string { return fmt.Sprintf("V%d", i) }
+	return TxSpec{
+		Name: name,
+		Run: func(tx *pandora.Tx, key func(string) pandora.Key) error {
+			var regv []uint64
+			for _, op := range ops {
+				if op.isRead {
+					v, err := read(tx, key, varName(op.varIdx))
+					if err != nil {
+						return err
+					}
+					regv = append(regv, v)
+				} else {
+					val := op.con
+					if op.reg >= 0 && op.reg < len(regv) {
+						val += regv[op.reg]
+					}
+					if err := write(tx, key, varName(op.varIdx), val); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Apply: func(m Model) {
+			var regv []uint64
+			for _, op := range ops {
+				if op.isRead {
+					regv = append(regv, m[varName(op.varIdx)])
+				} else {
+					val := op.con
+					if op.reg >= 0 && op.reg < len(regv) {
+						val += regv[op.reg]
+					}
+					m[varName(op.varIdx)] = val
+				}
+			}
+		},
+	}
+}
+
+// Random builds a randomized litmus test: numTxs concurrent random
+// transactions over numVars preloaded variables.
+func Random(seed int64, numTxs, numVars, opsPerTx int) Test {
+	rng := rand.New(rand.NewSource(seed))
+	t := Test{
+		Name:      fmt.Sprintf("random-%d", seed),
+		Preloaded: true,
+	}
+	for i := 0; i < numVars; i++ {
+		t.Vars = append(t.Vars, fmt.Sprintf("V%d", i))
+	}
+	for i := 0; i < numTxs; i++ {
+		t.Txs = append(t.Txs, genTx(rng, fmt.Sprintf("T%d", i+1), numVars, opsPerTx))
+	}
+	return t
+}
+
+// RandomSuite runs `count` random litmus tests under cfg and returns
+// their reports.
+func RandomSuite(cfg Config, count int, numTxs, numVars, opsPerTx int) ([]Report, error) {
+	var out []Report
+	for i := 0; i < count; i++ {
+		rep, err := RunTest(Random(cfg.Seed*1000+int64(i), numTxs, numVars, opsPerTx), cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package litmus
+
+import (
+	"testing"
+
+	"pandora/internal/core"
+)
+
+// TestRandomSuitePandoraPasses: randomized litmus programs with crash
+// injection never produce a violation under the fixed Pandora protocol.
+func TestRandomSuitePandoraPasses(t *testing.T) {
+	reps, err := RandomSuite(Config{
+		Protocol:   core.ProtocolPandora,
+		Iterations: 60,
+		Seed:       11,
+		Jitter:     true,
+	}, 8, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := 0
+	for _, rep := range reps {
+		if len(rep.Violations) != 0 {
+			t.Errorf("%s: %d violations, e.g. %s", rep.Test, len(rep.Violations), rep.Violations[0])
+		}
+		committed += rep.Committed
+	}
+	if committed == 0 {
+		t.Fatal("random suite committed nothing")
+	}
+}
+
+// TestRandomSuiteFixedFORDPasses: the fixed Baseline passes too.
+func TestRandomSuiteFixedFORDPasses(t *testing.T) {
+	reps, err := RandomSuite(Config{
+		Protocol:   core.ProtocolFORD,
+		Iterations: 40,
+		Seed:       13,
+		Jitter:     true,
+	}, 5, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		if len(rep.Violations) != 0 {
+			t.Errorf("%s: %v", rep.Test, rep.Violations[0])
+		}
+	}
+}
+
+// TestRandomSuiteCatchesCovertLocks: random programs find the seeded
+// Covert Locks bug without any hand-crafted schedule.
+func TestRandomSuiteCatchesCovertLocks(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 4 && found == 0; seed++ {
+		reps, err := RandomSuite(Config{
+			Protocol:   core.ProtocolPandora,
+			Bugs:       core.Bugs{CovertLocks: true},
+			Iterations: 120,
+			Seed:       17 + seed,
+			NoCrashes:  true,
+			Jitter:     true,
+		}, 6, 3, 4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rep := range reps {
+			found += len(rep.Violations)
+		}
+	}
+	if found == 0 {
+		t.Fatal("random suite failed to catch the seeded Covert Locks bug")
+	}
+}
+
+// TestRandomApplyMatchesRun: for a single transaction run in isolation,
+// the real final state must equal the model's Apply — the generator's
+// two halves are in lockstep.
+func TestRandomApplyMatchesRun(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		tst := Random(seed, 1, 4, 6)
+		rep, err := RunTest(tst, Config{
+			Protocol:   core.ProtocolPandora,
+			Iterations: 3,
+			Seed:       seed,
+			NoCrashes:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With a single transaction and no faults there is exactly one
+		// reachable state; any mismatch is reported as a violation.
+		if len(rep.Violations) != 0 {
+			t.Fatalf("seed %d: model/run mismatch: %s", seed, rep.Violations[0])
+		}
+		if rep.Committed != 3 {
+			t.Fatalf("seed %d: committed %d of 3 isolated txs", seed, rep.Committed)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package place implements data placement for the DKVS: a consistent
+// hashing ring that statically partitions every table across the memory
+// servers (§3.2.5), assigning each partition a primary and f backups,
+// plus the per-compute-node assignment of f+1 designated log servers
+// (§3.1.4).
+//
+// Placement is pure computation over the member list. Coordinators, the
+// recovery coordinator, and memory-failure handling all recompute it
+// independently and must agree, so all functions here are deterministic.
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"pandora/internal/kvlayout"
+	"pandora/internal/rdma"
+)
+
+// vnodesPerNode is the number of virtual ring points per memory server;
+// enough for reasonable balance at the paper's cluster sizes.
+const vnodesPerNode = 64
+
+type vnode struct {
+	hash uint64
+	node rdma.NodeID
+}
+
+// Ring is a consistent-hashing placement over a fixed set of memory
+// servers. It never resizes: the paper statically partitions data and
+// promotes backups on failure rather than re-hashing.
+type Ring struct {
+	vnodes     []vnode
+	nodes      []rdma.NodeID
+	replicas   int // f+1
+	partitions uint32
+}
+
+// New builds a ring over memNodes with the given replication degree
+// (f+1) and number of partitions per table. It panics on impossible
+// configurations, which are wiring bugs.
+func New(memNodes []rdma.NodeID, replicas int, partitions uint32) *Ring {
+	if replicas < 1 || replicas > len(memNodes) {
+		panic(fmt.Sprintf("place: %d replicas over %d memory nodes", replicas, len(memNodes)))
+	}
+	if partitions == 0 {
+		panic("place: zero partitions")
+	}
+	r := &Ring{
+		nodes:      append([]rdma.NodeID(nil), memNodes...),
+		replicas:   replicas,
+		partitions: partitions,
+	}
+	// Virtual nodes are hashed by member *index*, not NodeID: when a
+	// failed memory server is replaced by a fresh one (re-replication,
+	// §3.2.5), Substitute keeps the identical partition layout so only
+	// data copying — not re-hashing — is needed.
+	for idx, n := range memNodes {
+		for i := 0; i < vnodesPerNode; i++ {
+			h := kvlayout.Mix64(uint64(idx)<<32 | uint64(i)<<8 | 0x5a)
+			r.vnodes = append(r.vnodes, vnode{hash: h, node: n})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		return r.vnodes[i].node < r.vnodes[j].node
+	})
+	return r
+}
+
+// Substitute returns a ring identical to r except that memory server old
+// is replaced by repl: every partition previously placed on old is
+// placed on repl, and nothing else moves.
+func (r *Ring) Substitute(old, repl rdma.NodeID) *Ring {
+	nodes := make([]rdma.NodeID, len(r.nodes))
+	for i, n := range r.nodes {
+		if n == old {
+			nodes[i] = repl
+		} else {
+			nodes[i] = n
+		}
+	}
+	return New(nodes, r.replicas, r.partitions)
+}
+
+// Replication returns the replication degree f+1.
+func (r *Ring) Replication() int { return r.replicas }
+
+// Partitions returns the number of partitions per table.
+func (r *Ring) Partitions() uint32 { return r.partitions }
+
+// Nodes returns the memory servers the ring was built over.
+func (r *Ring) Nodes() []rdma.NodeID { return append([]rdma.NodeID(nil), r.nodes...) }
+
+// Partition returns the partition a key belongs to. All tables share the
+// partitioning so that multi-table transactions over related keys keep a
+// predictable layout.
+func (r *Ring) Partition(k kvlayout.Key) uint32 {
+	return uint32(kvlayout.Mix64(uint64(k)^0xc0ffee) % uint64(r.partitions))
+}
+
+// walk collects the first `count` distinct nodes on the ring at or after
+// hash h.
+func (r *Ring) walk(h uint64, count int) []rdma.NodeID {
+	idx := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]rdma.NodeID, 0, count)
+	seen := make(map[rdma.NodeID]bool, count)
+	for i := 0; len(out) < count && i < len(r.vnodes); i++ {
+		v := r.vnodes[(idx+i)%len(r.vnodes)]
+		if !seen[v.node] {
+			seen[v.node] = true
+			out = append(out, v.node)
+		}
+	}
+	return out
+}
+
+// Replicas returns the f+1 memory servers holding a partition, primary
+// first.
+func (r *Ring) Replicas(partition uint32) []rdma.NodeID {
+	return r.walk(kvlayout.Mix64(uint64(partition)|0xabcd<<40), r.replicas)
+}
+
+// Primary returns the partition's primary among live nodes: the first
+// replica for which alive returns true (§3.2.5, deterministic new-primary
+// calculation). ok is false when every replica is dead.
+func (r *Ring) Primary(partition uint32, alive func(rdma.NodeID) bool) (rdma.NodeID, bool) {
+	for _, n := range r.Replicas(partition) {
+		if alive == nil || alive(n) {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// LogServers returns the f+1 designated log servers for a compute node
+// (§3.1.4): all of one compute node's transaction logs live on the same
+// f+1 memory servers.
+func (r *Ring) LogServers(compute rdma.NodeID) []rdma.NodeID {
+	return r.walk(kvlayout.Mix64(uint64(compute)|0xf00d<<40), r.replicas)
+}

@@ -1,0 +1,135 @@
+// Package quorum is a small majority-ack replicated key-value store, the
+// stand-in for the ZooKeeper ensemble the paper uses to replicate the
+// failure detector's state (§3.2.4). It provides the two properties the
+// FD needs: writes survive the failure of a minority of replicas, and a
+// majority read always observes the latest majority-acknowledged write.
+package quorum
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoQuorum is returned when fewer than a majority of replicas are
+// reachable.
+var ErrNoQuorum = errors.New("quorum: majority of replicas unavailable")
+
+type entry struct {
+	seq uint64
+	val []byte
+}
+
+// Replica is one member of the ensemble.
+type Replica struct {
+	mu   sync.Mutex
+	data map[string]entry
+	down bool
+}
+
+func (r *Replica) put(key string, e entry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down {
+		return false
+	}
+	if cur, ok := r.data[key]; !ok || e.seq > cur.seq {
+		r.data[key] = e
+	}
+	return true
+}
+
+func (r *Replica) get(key string) (entry, bool, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down {
+		return entry{}, false, false
+	}
+	e, ok := r.data[key]
+	return e, ok, true
+}
+
+// Store is a client handle over the full ensemble. Writes are serialised
+// through the store (the FD is the only writer, matching the paper's
+// single logical failure detector with replicated state).
+type Store struct {
+	mu       sync.Mutex
+	replicas []*Replica
+	nextSeq  uint64
+}
+
+// NewStore creates an ensemble of n replicas. n must be odd and >= 1.
+func NewStore(n int) *Store {
+	if n < 1 || n%2 == 0 {
+		panic("quorum: ensemble size must be odd and positive")
+	}
+	s := &Store{}
+	for i := 0; i < n; i++ {
+		s.replicas = append(s.replicas, &Replica{data: make(map[string]entry)})
+	}
+	return s
+}
+
+// Size returns the ensemble size.
+func (s *Store) Size() int { return len(s.replicas) }
+
+// Majority returns the quorum size.
+func (s *Store) Majority() int { return len(s.replicas)/2 + 1 }
+
+// CrashReplica fail-stops replica i.
+func (s *Store) CrashReplica(i int) {
+	s.replicas[i].mu.Lock()
+	s.replicas[i].down = true
+	s.replicas[i].mu.Unlock()
+}
+
+// RestartReplica brings replica i back with its state intact; it catches
+// up on the next write it receives (last-writer-wins by sequence).
+func (s *Store) RestartReplica(i int) {
+	s.replicas[i].mu.Lock()
+	s.replicas[i].down = false
+	s.replicas[i].mu.Unlock()
+}
+
+// Put replicates key=val and returns once a majority has acknowledged.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	s.nextSeq++
+	e := entry{seq: s.nextSeq, val: append([]byte(nil), val...)}
+	s.mu.Unlock()
+
+	acks := 0
+	for _, r := range s.replicas {
+		if r.put(key, e) {
+			acks++
+		}
+	}
+	if acks < s.Majority() {
+		return ErrNoQuorum
+	}
+	return nil
+}
+
+// Get reads key from a majority and returns the highest-sequence value
+// observed. ok is false when no majority replica holds the key.
+func (s *Store) Get(key string) (val []byte, ok bool, err error) {
+	reachable := 0
+	var best entry
+	found := false
+	for _, r := range s.replicas {
+		e, has, up := r.get(key)
+		if !up {
+			continue
+		}
+		reachable++
+		if has && (!found || e.seq > best.seq) {
+			best, found = e, true
+		}
+	}
+	if reachable < s.Majority() {
+		return nil, false, ErrNoQuorum
+	}
+	if !found {
+		return nil, false, nil
+	}
+	return append([]byte(nil), best.val...), true, nil
+}

@@ -1,0 +1,138 @@
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewStore(3)
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = (%q,%v,%v)", v, ok, err)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s := NewStore(3)
+	_, ok, err := s.Get("nope")
+	if err != nil || ok {
+		t.Fatalf("Get(missing) = (ok=%v, err=%v), want (false, nil)", ok, err)
+	}
+}
+
+func TestSurvivesMinorityFailure(t *testing.T) {
+	s := NewStore(3)
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashReplica(0)
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatalf("Put with one of three replicas down: %v", err)
+	}
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Get = (%q,%v,%v)", v, ok, err)
+	}
+}
+
+func TestMajorityFailureBlocks(t *testing.T) {
+	s := NewStore(3)
+	s.CrashReplica(0)
+	s.CrashReplica(1)
+	if err := s.Put("k", []byte("v")); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("Put err = %v, want ErrNoQuorum", err)
+	}
+	if _, _, err := s.Get("k"); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("Get err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestStaleReplicaDoesNotWinReads(t *testing.T) {
+	s := NewStore(3)
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 0 misses the next write...
+	s.CrashReplica(0)
+	if err := s.Put("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// ...then comes back; reads must still return the latest value.
+	s.RestartReplica(0)
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || string(v) != "new" {
+		t.Fatalf("Get after stale replica rejoin = (%q,%v,%v), want (new,true,nil)", v, ok, err)
+	}
+}
+
+func TestOldWriteCannotOverwriteNewer(t *testing.T) {
+	s := NewStore(1)
+	r := s.replicas[0]
+	if err := s.Put("k", []byte("v5")); err != nil {
+		t.Fatal(err)
+	}
+	// A delayed, lower-sequence write must be ignored.
+	if r.put("k", entry{seq: 0, val: []byte("stale")}) != true {
+		t.Fatal("put to live replica failed")
+	}
+	v, _, _ := s.Get("k")
+	if string(v) != "v5" {
+		t.Fatalf("stale write overwrote newer value: %q", v)
+	}
+}
+
+func TestEnsembleSizeValidation(t *testing.T) {
+	for _, n := range []int{0, 2, -1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStore(%d) did not panic", n)
+				}
+			}()
+			NewStore(n)
+		}()
+	}
+	if NewStore(1).Majority() != 1 || NewStore(5).Majority() != 3 {
+		t.Fatal("Majority() arithmetic wrong")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := NewStore(1)
+	buf := []byte("mutable")
+	if err := s.Put("k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	v, _, _ := s.Get("k")
+	if string(v) != "mutable" {
+		t.Fatalf("store aliased caller buffer: %q", v)
+	}
+	v[0] = 'Y'
+	v2, _, _ := s.Get("k")
+	if string(v2) != "mutable" {
+		t.Fatalf("Get aliased internal buffer: %q", v2)
+	}
+}
+
+func TestManyKeys(t *testing.T) {
+	s := NewStore(5)
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.CrashReplica(1)
+	s.CrashReplica(3)
+	for i := 0; i < 100; i++ {
+		v, ok, err := s.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !ok || v[0] != byte(i) {
+			t.Fatalf("k%d = (%v,%v,%v)", i, v, ok, err)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package rdma
+
+import "time"
+
+// Endpoint is a node's NIC-side handle for issuing one-sided verbs. A
+// transaction coordinator (or recovery coordinator) typically owns one
+// endpoint and, optionally, one virtual clock.
+//
+// Queue pairs are implicit: the simulation applies verbs synchronously,
+// so the reliable-connection in-order guarantee holds by construction
+// for any sequence of calls made from one goroutine.
+type Endpoint struct {
+	fab   *Fabric
+	node  NodeID
+	clock *VClock
+	// gate, when set, must return true for verbs to be posted. Compute
+	// incarnations use it so that a *restarted* node (same fabric id,
+	// new process) cannot resurrect the crashed incarnation's in-flight
+	// verbs: the old endpoints stay dead even after the node id comes
+	// back up.
+	gate func() bool
+}
+
+// Endpoint returns a verb-issuing handle for the given local node.
+func (f *Fabric) Endpoint(node NodeID) *Endpoint {
+	if f.node(node) == nil {
+		panic("rdma: endpoint for unattached node")
+	}
+	return &Endpoint{fab: f, node: node}
+}
+
+// WithClock returns a copy of the endpoint charging verb latencies to
+// clk. Passing nil disables charging.
+func (ep *Endpoint) WithClock(clk *VClock) *Endpoint {
+	cp := *ep
+	cp.clock = clk
+	return &cp
+}
+
+// WithGate returns a copy of the endpoint that refuses to post verbs
+// (with ErrCrashed) whenever alive returns false.
+func (ep *Endpoint) WithGate(alive func() bool) *Endpoint {
+	cp := *ep
+	cp.gate = alive
+	return &cp
+}
+
+// gateCheck enforces the incarnation gate.
+func (ep *Endpoint) gateCheck() error {
+	if ep.gate != nil && !ep.gate() {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Clock returns the endpoint's virtual clock, which may be nil.
+func (ep *Endpoint) Clock() *VClock { return ep.clock }
+
+// Node returns the local node id of this endpoint.
+func (ep *Endpoint) Node() NodeID { return ep.node }
+
+// Fabric returns the fabric the endpoint is attached to.
+func (ep *Endpoint) Fabric() *Fabric { return ep.fab }
+
+func (ep *Endpoint) charge(n int) {
+	d := ep.fab.lat.Verb(n)
+	if retries := ep.fab.transportFaults(n); retries > 0 {
+		// Each retransmission costs roughly one more round trip (the RC
+		// retransmission timeout is of the same order at these scales).
+		d += time.Duration(retries) * ep.fab.lat.Verb(n)
+	}
+	ep.clock.Advance(d)
+}
+
+// Read issues a one-sided READ of len(dst) bytes at addr.
+func (ep *Endpoint) Read(addr Addr, dst []byte) error {
+	ep.fab.verbs.RLock()
+	defer ep.fab.verbs.RUnlock()
+	if err := ep.gateCheck(); err != nil {
+		return err
+	}
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return err
+	}
+	if err := r.read(addr.Offset, dst); err != nil {
+		return err
+	}
+	ep.charge(len(dst))
+	return nil
+}
+
+// Write issues a one-sided WRITE of src at addr.
+func (ep *Endpoint) Write(addr Addr, src []byte) error {
+	ep.fab.verbs.RLock()
+	defer ep.fab.verbs.RUnlock()
+	if err := ep.gateCheck(); err != nil {
+		return err
+	}
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return err
+	}
+	if err := r.write(addr.Offset, src); err != nil {
+		return err
+	}
+	ep.charge(len(src))
+	return nil
+}
+
+// CAS issues a one-sided 8-byte compare-and-swap at addr. It returns the
+// previous value and whether the swap was applied.
+func (ep *Endpoint) CAS(addr Addr, expect, swap uint64) (old uint64, swapped bool, err error) {
+	ep.fab.verbs.RLock()
+	defer ep.fab.verbs.RUnlock()
+	if err := ep.gateCheck(); err != nil {
+		return 0, false, err
+	}
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return 0, false, err
+	}
+	old, err = r.cas(addr.Offset, expect, swap)
+	if err != nil {
+		return 0, false, err
+	}
+	ep.charge(8)
+	return old, old == expect, nil
+}
+
+// FAA issues a one-sided 8-byte fetch-and-add at addr and returns the
+// previous value.
+func (ep *Endpoint) FAA(addr Addr, delta uint64) (uint64, error) {
+	ep.fab.verbs.RLock()
+	defer ep.fab.verbs.RUnlock()
+	if err := ep.gateCheck(); err != nil {
+		return 0, err
+	}
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return 0, err
+	}
+	old, err := r.faa(addr.Offset, delta)
+	if err != nil {
+		return 0, err
+	}
+	ep.charge(8)
+	return old, nil
+}
+
+// OpKind names a verb within a batch.
+type OpKind int
+
+// Verb kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpCAS
+	OpFAA
+	// OpFlush is the selective one-sided persistence flush (persist.go);
+	// Delta carries the byte count to flush at Addr.
+	OpFlush
+)
+
+// Op describes one verb in a batch. Results are written back into the
+// Op: Buf for reads, Old/Swapped for CAS, Old for FAA, and Err for the
+// per-op completion status.
+type Op struct {
+	Kind         OpKind
+	Addr         Addr
+	Buf          []byte // READ destination or WRITE source
+	Expect, Swap uint64 // CAS operands
+	Delta        uint64 // FAA operand
+	Old          uint64 // CAS/FAA result
+	Swapped      bool   // CAS result
+	Err          error  // per-op completion status
+}
+
+func (ep *Endpoint) exec(op *Op) time.Duration {
+	ep.fab.verbs.RLock()
+	defer ep.fab.verbs.RUnlock()
+	if err := ep.gateCheck(); err != nil {
+		op.Err = err
+		return 0
+	}
+	lat := ep.fab.lat
+	verb := func(n int) time.Duration {
+		d := lat.Verb(n)
+		if retries := ep.fab.transportFaults(n); retries > 0 {
+			d += time.Duration(retries) * lat.Verb(n)
+		}
+		return d
+	}
+	switch op.Kind {
+	case OpRead:
+		op.Err = ep.rawRead(op.Addr, op.Buf)
+		return verb(len(op.Buf))
+	case OpWrite:
+		op.Err = ep.rawWrite(op.Addr, op.Buf)
+		return verb(len(op.Buf))
+	case OpCAS:
+		op.Old, op.Swapped, op.Err = ep.rawCAS(op.Addr, op.Expect, op.Swap)
+		return verb(8)
+	case OpFAA:
+		op.Old, op.Err = ep.rawFAA(op.Addr, op.Delta)
+		return verb(8)
+	case OpFlush:
+		op.Err = ep.rawFlush(op.Addr, int(op.Delta))
+		return verb(8)
+	default:
+		op.Err = ErrNoRegion
+		return 0
+	}
+}
+
+// raw variants perform the verb without charging the clock; Do/DoSeq
+// account for batch-level charging.
+
+func (ep *Endpoint) rawRead(addr Addr, dst []byte) error {
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return err
+	}
+	return r.read(addr.Offset, dst)
+}
+
+func (ep *Endpoint) rawWrite(addr Addr, src []byte) error {
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return err
+	}
+	return r.write(addr.Offset, src)
+}
+
+func (ep *Endpoint) rawCAS(addr Addr, expect, swap uint64) (uint64, bool, error) {
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return 0, false, err
+	}
+	old, err := r.cas(addr.Offset, expect, swap)
+	if err != nil {
+		return 0, false, err
+	}
+	return old, old == expect, nil
+}
+
+func (ep *Endpoint) rawFlush(addr Addr, n int) error {
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return err
+	}
+	return r.flush(addr.Offset, n)
+}
+
+func (ep *Endpoint) rawFAA(addr Addr, delta uint64) (uint64, error) {
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return 0, err
+	}
+	return r.faa(addr.Offset, delta)
+}
+
+// Do issues ops concurrently (one doorbell batch, or parallel QPs to
+// distinct nodes) and waits for all completions. The virtual clock is
+// charged the maximum of the individual verb durations. It returns the
+// first per-op error, if any; all ops are attempted regardless.
+func (ep *Endpoint) Do(ops ...*Op) error {
+	var maxD time.Duration
+	var first error
+	for _, op := range ops {
+		d := ep.exec(op)
+		if d > maxD {
+			maxD = d
+		}
+		if op.Err != nil && first == nil {
+			first = op.Err
+		}
+	}
+	ep.clock.Advance(maxD)
+	return first
+}
+
+// DoSeq issues ops as a dependent chain (each awaits the previous
+// completion) and charges the sum of durations. It stops at the first
+// error.
+func (ep *Endpoint) DoSeq(ops ...*Op) error {
+	for _, op := range ops {
+		d := ep.exec(op)
+		ep.clock.Advance(d)
+		if op.Err != nil {
+			return op.Err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fabric is the switched network connecting every node's NIC. It owns
+// node state (registered regions, liveness, revocation sets) and hands
+// out endpoints.
+type Fabric struct {
+	mu    sync.RWMutex
+	nodes map[NodeID]*nodeState
+	lat   LatencyModel
+
+	// verbs is the in-flight verb barrier: every verb holds the read
+	// side for its whole execution (rights check + memory operation);
+	// state transitions that must fence in-flight work — revocation
+	// (active-link termination), node crash/down — take the write side,
+	// which waits for outstanding verbs to land, exactly as a real QP
+	// transition to the error state flushes outstanding work requests.
+	// Without it, a verb that passed its rights check could land
+	// arbitrarily late — after recovery has already repaired the state
+	// it is about to clobber.
+	verbs sync.RWMutex
+
+	// faults optionally injects transport-level loss/duplication, masked
+	// by the RC transport (see FaultModel).
+	faults *faultState
+
+	// persist models NVM on memory nodes (see persist.go).
+	persist bool
+}
+
+type nodeState struct {
+	mu      sync.RWMutex
+	regions map[RegionID]*Region
+	down    bool
+	// revoked holds the endpoints whose access rights to this node have
+	// been terminated.
+	revoked map[NodeID]bool
+	crashed bool // for compute endpoints: local crash flag
+}
+
+// NewFabric creates a fabric with the given latency model. A zero-value
+// LatencyModel charges no time.
+func NewFabric(lat LatencyModel) *Fabric {
+	return &Fabric{nodes: make(map[NodeID]*nodeState), lat: lat}
+}
+
+// Latency returns the fabric's latency model.
+func (f *Fabric) Latency() LatencyModel { return f.lat }
+
+// AddNode attaches a node to the fabric. It panics if the id is already
+// in use, which indicates a wiring bug.
+func (f *Fabric) AddNode(id NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[id]; ok {
+		panic(fmt.Sprintf("rdma: node %d already attached", id))
+	}
+	f.nodes[id] = &nodeState{
+		regions: make(map[RegionID]*Region),
+		revoked: make(map[NodeID]bool),
+	}
+}
+
+// EnsureNode attaches a node if it is not already attached. Used when a
+// restarted compute server rejoins under its existing fabric identity.
+func (f *Fabric) EnsureNode(id NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[id]; ok {
+		return
+	}
+	f.nodes[id] = &nodeState{
+		regions: make(map[RegionID]*Region),
+		revoked: make(map[NodeID]bool),
+	}
+}
+
+func (f *Fabric) node(id NodeID) *nodeState {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.nodes[id]
+}
+
+// RegisterRegion registers a memory region of the given size on a node
+// and returns it for host-local access.
+func (f *Fabric) RegisterRegion(node NodeID, id RegionID, size int) *Region {
+	ns := f.node(node)
+	if ns == nil {
+		panic(fmt.Sprintf("rdma: register region on unknown node %d", node))
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, ok := ns.regions[id]; ok {
+		panic(fmt.Sprintf("rdma: region %d already registered on node %d", id, node))
+	}
+	r := NewRegion(size)
+	ns.regions[id] = r
+	return r
+}
+
+// LookupRegion returns a previously registered region, or nil.
+func (f *Fabric) LookupRegion(node NodeID, id RegionID) *Region {
+	ns := f.node(node)
+	if ns == nil {
+		return nil
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return ns.regions[id]
+}
+
+// Revoke terminates endpoint from's access rights to the memory of node
+// target ("active-link termination", Cor1). Idempotent.
+func (f *Fabric) Revoke(target, from NodeID) {
+	ns := f.node(target)
+	if ns == nil {
+		return
+	}
+	f.verbs.Lock() // fence: wait for in-flight verbs, then cut rights
+	ns.mu.Lock()
+	ns.revoked[from] = true
+	ns.mu.Unlock()
+	f.verbs.Unlock()
+}
+
+// Restore re-grants previously revoked rights, used when a falsely
+// suspected node rejoins with a fresh identity.
+func (f *Fabric) Restore(target, from NodeID) {
+	ns := f.node(target)
+	if ns == nil {
+		return
+	}
+	ns.mu.Lock()
+	delete(ns.revoked, from)
+	ns.mu.Unlock()
+}
+
+// SetDown marks a node failed (true) or live (false). Verbs targeting a
+// down node fail with ErrNodeDown; its memory contents are preserved so
+// that a restarted node can resume (we model fail-stop of the server
+// process, and replacement nodes start from fresh regions).
+func (f *Fabric) SetDown(node NodeID, down bool) {
+	ns := f.node(node)
+	if ns == nil {
+		return
+	}
+	f.verbs.Lock() // fence in-flight verbs across the transition
+	ns.mu.Lock()
+	ns.down = down
+	ns.mu.Unlock()
+	f.verbs.Unlock()
+}
+
+// IsDown reports whether the node is marked failed.
+func (f *Fabric) IsDown(node NodeID) bool {
+	ns := f.node(node)
+	if ns == nil {
+		return true
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return ns.down
+}
+
+// SetCrashed marks a (compute) node's local process crashed. Endpoints
+// of a crashed node refuse to post verbs with ErrCrashed.
+func (f *Fabric) SetCrashed(node NodeID, crashed bool) {
+	ns := f.node(node)
+	if ns == nil {
+		return
+	}
+	f.verbs.Lock() // fence: a crashed node's in-flight verbs land first
+	ns.mu.Lock()
+	ns.crashed = crashed
+	ns.mu.Unlock()
+	f.verbs.Unlock()
+}
+
+// IsCrashed reports whether the node's local process is crashed.
+func (f *Fabric) IsCrashed(node NodeID) bool {
+	ns := f.node(node)
+	if ns == nil {
+		return true
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return ns.crashed
+}
+
+// check validates that a verb from endpoint from may access node target,
+// returning the target state on success.
+func (f *Fabric) check(target, from NodeID) (*nodeState, error) {
+	if self := f.node(from); self != nil {
+		self.mu.RLock()
+		crashed := self.crashed
+		self.mu.RUnlock()
+		if crashed {
+			return nil, ErrCrashed
+		}
+	}
+	ns := f.node(target)
+	if ns == nil {
+		return nil, ErrNodeDown
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	if ns.down {
+		return nil, ErrNodeDown
+	}
+	if ns.revoked[from] {
+		return nil, ErrRevoked
+	}
+	return ns, nil
+}
+
+func (f *Fabric) region(target, from NodeID, id RegionID) (*Region, error) {
+	ns, err := f.check(target, from)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.RLock()
+	r := ns.regions[id]
+	ns.mu.RUnlock()
+	if r == nil {
+		return nil, ErrNoRegion
+	}
+	return r, nil
+}

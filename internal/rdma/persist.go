@@ -1,0 +1,114 @@
+package rdma
+
+// NVM persistence support (paper §7): Pandora is compatible with
+// non-volatile memory on the memory servers using FORD's *selective
+// one-sided flush* scheme — after writing, the issuer forces the data
+// out of the RNIC/CPU caches into the durable medium with a small
+// follow-up flush (in real hardware, an RDMA READ after the WRITEs).
+//
+// The simulation models the volatile/durable split explicitly: when
+// persistence is enabled, every region keeps a durable image that only
+// Flush (or host-side MarkDurable, for setup-time loading) updates.
+// A memory server's power failure reverts its regions to the durable
+// image — un-flushed writes are lost, exactly the failure persistence
+// protects against. With battery-backed DRAM (the paper's alternative),
+// no flushing is needed; that is the default mode (persistence off).
+
+// EnablePersistence turns on the volatile/durable split for every
+// region registered afterwards (call before wiring a cluster).
+func (f *Fabric) EnablePersistence() {
+	f.mu.Lock()
+	f.persist = true
+	f.mu.Unlock()
+}
+
+// Persistent reports whether the fabric models NVM persistence.
+func (f *Fabric) Persistent() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.persist
+}
+
+// Flush is the selective one-sided flush verb: it makes the n bytes at
+// addr durable. On hardware this is a small READ that forces the
+// preceding WRITEs out of the NIC cache; it costs one round trip.
+func (ep *Endpoint) Flush(addr Addr, n int) error {
+	ep.fab.verbs.RLock()
+	defer ep.fab.verbs.RUnlock()
+	if err := ep.gateCheck(); err != nil {
+		return err
+	}
+	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
+	if err != nil {
+		return err
+	}
+	if err := r.flush(addr.Offset, n); err != nil {
+		return err
+	}
+	ep.charge(8) // flush READ payload is tiny; cost is the round trip
+	return nil
+}
+
+// ensureDurable lazily allocates the durable image.
+func (r *Region) ensureDurable() {
+	if r.durable == nil {
+		r.durable = make([]byte, len(r.buf))
+	}
+}
+
+// flush copies [off, off+n) from the volatile buffer to the durable
+// image.
+func (r *Region) flush(off uint64, n int) error {
+	if err := r.checkBounds(off, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	unlock := r.lockRange(off, n)
+	defer unlock()
+	r.ensureDurable()
+	copy(r.durable[off:off+uint64(n)], r.buf[off:off+uint64(n)])
+	return nil
+}
+
+// MarkDurable snapshots the whole region into the durable image —
+// setup-time loading (preload, re-replication copies) is considered
+// persisted.
+func (r *Region) MarkDurable() {
+	unlock := r.lockRange(0, len(r.buf))
+	defer unlock()
+	r.ensureDurable()
+	copy(r.durable, r.buf)
+}
+
+// revertToDurable discards volatile state (power failure).
+func (r *Region) revertToDurable() {
+	unlock := r.lockRange(0, len(r.buf))
+	defer unlock()
+	r.ensureDurable()
+	copy(r.buf, r.durable)
+}
+
+// PowerFail models a power failure of a memory node with NVM: the node
+// goes down and its regions revert to their durable images — un-flushed
+// volatile writes are lost. Call Restart (SetDown false) to bring the
+// node back serving the durable state.
+func (f *Fabric) PowerFail(node NodeID) {
+	ns := f.node(node)
+	if ns == nil {
+		return
+	}
+	f.verbs.Lock()
+	ns.mu.Lock()
+	ns.down = true
+	regions := make([]*Region, 0, len(ns.regions))
+	for _, r := range ns.regions {
+		regions = append(regions, r)
+	}
+	ns.mu.Unlock()
+	f.verbs.Unlock()
+	for _, r := range regions {
+		r.revertToDurable()
+	}
+}

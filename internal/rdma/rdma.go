@@ -1,0 +1,63 @@
+// Package rdma provides an in-process simulation of a one-sided RDMA
+// fabric, as used by disaggregated-memory key-value stores.
+//
+// The simulation models exactly the semantics the Pandora and FORD
+// protocols rely on:
+//
+//   - One-sided verbs (READ, WRITE, CAS, FAA) that access a remote node's
+//     registered memory without involving that node's CPU, and that keep
+//     working after the issuing process has crashed elsewhere.
+//   - Reliable-connection (RC) ordering: verbs posted on one queue pair
+//     are applied to remote memory in posting order, and the transport
+//     retransmits transparently (message loss never surfaces to the
+//     caller; only node failure or revocation does).
+//   - 8-byte atomicity for CAS and FAA on aligned addresses.
+//   - Access-rights revocation: a memory node can revoke a remote
+//     endpoint's rights ("active-link termination"), after which every
+//     verb from that endpoint fails with ErrRevoked.
+//
+// Latency is modelled, not slept: every verb charges a duration computed
+// by a LatencyModel to the issuing endpoint's virtual clock (VClock).
+// Verbs issued as one doorbell batch, or in parallel to distinct nodes,
+// charge the maximum of their individual durations; dependent verbs
+// charge the sum. Experiments that measure latency read the virtual
+// clock; experiments that measure throughput run in real time and simply
+// ignore it.
+package rdma
+
+import "errors"
+
+// NodeID identifies a node (compute or memory server) attached to the
+// fabric.
+type NodeID uint16
+
+// RegionID identifies a registered memory region within a node.
+type RegionID uint32
+
+// Errors returned by verbs.
+var (
+	// ErrNodeDown is returned when the target memory node has failed.
+	ErrNodeDown = errors.New("rdma: target node is down")
+	// ErrRevoked is returned when the issuing endpoint's access rights
+	// to the target node have been revoked (active-link termination).
+	ErrRevoked = errors.New("rdma: access rights revoked")
+	// ErrCrashed is returned when the issuing endpoint's own node has
+	// crashed; the verb is never posted.
+	ErrCrashed = errors.New("rdma: local node crashed")
+	// ErrNoRegion is returned for verbs that address an unregistered
+	// memory region.
+	ErrNoRegion = errors.New("rdma: no such memory region")
+	// ErrOutOfBounds is returned for verbs that address memory outside
+	// the target region.
+	ErrOutOfBounds = errors.New("rdma: address out of region bounds")
+	// ErrUnaligned is returned for atomic verbs on addresses that are
+	// not 8-byte aligned.
+	ErrUnaligned = errors.New("rdma: atomic address not 8-byte aligned")
+)
+
+// Addr names one byte of remote memory.
+type Addr struct {
+	Node   NodeID
+	Region RegionID
+	Offset uint64
+}

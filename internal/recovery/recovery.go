@@ -1,0 +1,513 @@
+// Package recovery implements Pandora's RDMA-based recovery protocol
+// (§3.2): detection is delegated to the failure detector; this package
+// performs active-link termination, log recovery (roll forward / roll
+// back), and the stray-lock notification, in that strict order — plus
+// the baseline's stop-the-world scan recovery, the traditional
+// lock-logging recovery, memory-failure handling with deterministic
+// primary promotion, re-replication, and the coordinator-id recycling
+// scan.
+//
+// Every step is idempotent (§3.2.3): re-running a partially executed
+// recovery is always safe, which is how failures of the recovery
+// coordinator itself are tolerated.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pandora/internal/core"
+	"pandora/internal/fdetect"
+	"pandora/internal/kvlayout"
+	"pandora/internal/memnode"
+	"pandora/internal/place"
+	"pandora/internal/rdma"
+)
+
+// ComputePeer is the recovery manager's view of a live compute node.
+// *core.ComputeNode implements it.
+type ComputePeer interface {
+	ID() rdma.NodeID
+	Crashed() bool
+	NotifyStrayLocks([]kvlayout.CoordID)
+	NotifyMemoryFailure(node rdma.NodeID)
+	SwapRing(*place.Ring)
+	Pause()
+	Resume()
+}
+
+// Config wires a Manager into a cluster.
+type Config struct {
+	Fabric *rdma.Fabric
+	Ring   *place.Ring
+	Schema []kvlayout.Table
+	Mems   []*memnode.Server
+	Peers  []ComputePeer
+	// Protocol selects the log layout to recover from (Pandora/TradLog
+	// read the f+1 designated log servers; FORD-mode logs are spread
+	// over the object replicas, so every memory server is read).
+	Protocol core.Protocol
+	// CoordsPerNode is the number of coordinator log areas per compute
+	// node's log region.
+	CoordsPerNode int
+	// RCNode is the fabric node the recovery coordinator issues verbs
+	// from. It must already be attached to the fabric.
+	RCNode rdma.NodeID
+}
+
+// Stats reports what one compute recovery did. VTime is the modelled
+// duration of the log-recovery step — the paper's "recovery latency"
+// (Table 2).
+type Stats struct {
+	LoggedTxs       int
+	RolledForward   int
+	RolledBack      int
+	StrayLocksFreed int // traditional scheme / scan recovery only
+	LogBytesRead    int
+	VTime           time.Duration
+	WallTime        time.Duration
+}
+
+// Manager executes recoveries. One instance serves the whole cluster;
+// RecoverCompute may be re-invoked for the same node (idempotent).
+type Manager struct {
+	cfg  Config
+	ring *place.Ring
+
+	mu        sync.Mutex
+	recovered map[rdma.NodeID]bool
+}
+
+// NewManager creates a recovery manager.
+func NewManager(cfg Config) *Manager {
+	return &Manager{cfg: cfg, ring: cfg.Ring, recovered: make(map[rdma.NodeID]bool)}
+}
+
+// Ring returns the manager's current placement view.
+func (m *Manager) Ring() *place.Ring {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring
+}
+
+// peers snapshots the peer list under the lock.
+func (m *Manager) peers() []ComputePeer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]ComputePeer{}, m.cfg.Peers...)
+}
+
+// SetPeer installs (or replaces, by node id) a compute peer — used when
+// a crashed compute server is restarted with fresh coordinator-ids.
+func (m *Manager) SetPeer(p ComputePeer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, old := range m.cfg.Peers {
+		if old.ID() == p.ID() {
+			m.cfg.Peers[i] = p
+			delete(m.recovered, p.ID())
+			return
+		}
+	}
+	m.cfg.Peers = append(m.cfg.Peers, p)
+}
+
+// endpoint returns a fresh verb handle for the recovery coordinator,
+// charging clk.
+func (m *Manager) endpoint(clk *rdma.VClock) *rdma.Endpoint {
+	return m.cfg.Fabric.Endpoint(m.cfg.RCNode).WithClock(clk)
+}
+
+// strayTx is one Logged-Stray-Tx reconstructed from the failed node's
+// logs.
+type strayTx struct {
+	coord     kvlayout.CoordID
+	coordSlot int
+	txID      uint64
+	writes    []kvlayout.LogWrite
+}
+
+// lockWordFor reconstructs the lock word a transaction used: the
+// coordinator-id plus the low 32 bits of its transaction id. Must match
+// core's Tx.lockWord.
+func lockWordFor(coord kvlayout.CoordID, txID uint64) uint64 {
+	return kvlayout.LockWord(coord, uint32(txID))
+}
+
+// DebugRollback, when set by tests, observes every rollback-image
+// decision (coordinator, txID, write, observed version).
+var DebugRollback func(coord kvlayout.CoordID, txID uint64, w kvlayout.LogWrite, observed uint64)
+
+// RecoverCompute runs the full compute-failure recovery for ev
+// (§3.2.2): (2) active-link termination, (3) log recovery, (4) stray-
+// lock notification. Step (1), detection, already happened — ev came
+// from the FD.
+func (m *Manager) RecoverCompute(ev fdetect.Event) (Stats, error) {
+	start := time.Now()
+	var stats Stats
+
+	// Step 2 — active-link termination (Cor1). Before touching any
+	// transaction state, make sure the suspect — failed or falsely
+	// suspected — can no longer reach memory.
+	for _, ms := range m.cfg.Mems {
+		ms.RevokeLink(ev.Node)
+	}
+
+	// Step 3 — log recovery (Cor2/Cor3), timed on the virtual clock;
+	// this is the latency conflicting transactions observe.
+	var clk rdma.VClock
+	ep := m.endpoint(&clk)
+	if err := m.logRecovery(ep, ev, &stats); err != nil {
+		return stats, err
+	}
+	stats.VTime = clk.Now()
+
+	// Step 4 — stray-lock notification (Cor4): strictly after log
+	// recovery, because only NotLogged-Stray-Tx locks may be stolen and
+	// log recovery has just released every logged transaction's locks.
+	for _, p := range m.peers() {
+		if p.ID() == ev.Node || p.Crashed() {
+			continue
+		}
+		p.NotifyStrayLocks(ev.Coords)
+	}
+
+	m.mu.Lock()
+	m.recovered[ev.Node] = true
+	m.mu.Unlock()
+	stats.WallTime = time.Since(start)
+	return stats, nil
+}
+
+// logNodes returns the memory servers whose log regions must be read for
+// the failed compute node.
+func (m *Manager) logNodes(failed rdma.NodeID) []rdma.NodeID {
+	if m.cfg.Protocol == core.ProtocolFORD {
+		return m.Ring().Nodes() // per-object logs live on the object replicas
+	}
+	return m.Ring().LogServers(failed)
+}
+
+// logRecovery reads the failed node's logs, reconstructs its
+// Logged-Stray-Txs, and rolls each forward or back.
+func (m *Manager) logRecovery(ep *rdma.Endpoint, ev fdetect.Event, stats *Stats) error {
+	regions, err := m.readLogRegions(ep, ev.Node, stats)
+	if err != nil {
+		return err
+	}
+	txs := m.reconstruct(regions, ev)
+	stats.LoggedTxs = len(txs)
+
+	for _, tx := range txs {
+		updated, err := m.allReplicasUpdated(ep, tx)
+		if err != nil {
+			return err
+		}
+		if updated {
+			// Roll forward: every replica carries the new state and the
+			// client may have been commit-acked (Cor3) — release the
+			// locks and keep the updates.
+			if err := m.unlockTx(ep, tx, nil); err != nil {
+				return err
+			}
+			stats.RolledForward++
+		} else {
+			// Roll back: an abort-ack is impossible only when nothing
+			// was updated; since not all replicas are updated, a
+			// commit-ack is impossible, so undoing is safe (Cor3).
+			if err := m.rollBack(ep, tx); err != nil {
+				return err
+			}
+			stats.RolledBack++
+		}
+	}
+
+	// Idempotence (§3.2.3): truncate every log of the failed node before
+	// the stray-lock notification; a re-executed recovery then finds no
+	// logs and redoes nothing.
+	if err := m.truncateAll(ep, ev); err != nil {
+		return err
+	}
+
+	if m.cfg.Protocol == core.ProtocolTradLog {
+		// The traditional scheme has no PILL: stray locks of not-logged
+		// transactions are released here, from the lock-intent logs,
+		// which is what makes its recovery slower than Pandora's.
+		n, err := m.releaseIntentLocks(ep, regions, ev)
+		if err != nil {
+			return err
+		}
+		stats.StrayLocksFreed += n
+	}
+	return nil
+}
+
+// readLogRegions fetches the failed node's entire log region from each
+// relevant memory server — f+1 large READs for Pandora (§3.2.2 "F+1 Log
+// Reads").
+func (m *Manager) readLogRegions(ep *rdma.Endpoint, failed rdma.NodeID, stats *Stats) (map[rdma.NodeID][]byte, error) {
+	size := m.cfg.CoordsPerNode * kvlayout.LogAreaSize
+	region := kvlayout.LogRegionID(failed)
+	out := make(map[rdma.NodeID][]byte)
+	var ops []*rdma.Op
+	var nodes []rdma.NodeID
+	for _, n := range m.logNodes(failed) {
+		if m.cfg.Fabric.IsDown(n) {
+			continue
+		}
+		if m.cfg.Fabric.LookupRegion(n, region) == nil {
+			continue
+		}
+		buf := make([]byte, size)
+		ops = append(ops, &rdma.Op{Kind: rdma.OpRead, Addr: rdma.Addr{Node: n, Region: region}, Buf: buf})
+		nodes = append(nodes, n)
+	}
+	if len(ops) == 0 {
+		return out, nil
+	}
+	_ = ep.Do(ops...) // per-op errors inspected below
+	for i, op := range ops {
+		if op.Err != nil {
+			continue // log server died mid-read; surviving copies suffice
+		}
+		out[nodes[i]] = op.Buf
+		stats.LogBytesRead += len(op.Buf)
+	}
+	if len(out) == 0 && len(ops) > 0 {
+		return nil, fmt.Errorf("recovery: no log copy of node %d readable", failed)
+	}
+	return out, nil
+}
+
+// reconstruct merges the per-node log images into one strayTx per
+// coordinator. Pandora has one record per coordinator (any valid copy
+// suffices; the highest txID wins if areas disagree mid-overwrite).
+// FORD-mode appends one record per object, replicated per object — they
+// are merged by txID and deduplicated by object.
+func (m *Manager) reconstruct(regions map[rdma.NodeID][]byte, ev fdetect.Event) []strayTx {
+	var out []strayTx
+	for slot, coord := range ev.Coords {
+		if slot >= m.cfg.CoordsPerNode {
+			break
+		}
+		areaOff := kvlayout.LogAreaOffset(slot)
+		best := strayTx{coord: coord, coordSlot: slot}
+		seen := make(map[string]bool)
+		for _, buf := range regions {
+			area := buf[areaOff : areaOff+kvlayout.LogAreaSize]
+			recs := kvlayout.DecodeLogRecords(area[kvlayout.TxLogOff:kvlayout.LockLogOff])
+			for _, rec := range recs {
+				if rec.Coord != coord {
+					continue // area reused by an unrelated id: ignore
+				}
+				if rec.TxID > best.txID {
+					// Newer transaction: discard older remnants.
+					best.txID = rec.TxID
+					best.writes = nil
+					seen = make(map[string]bool)
+				}
+				if rec.TxID != best.txID {
+					continue
+				}
+				for _, w := range rec.Writes {
+					k := fmt.Sprintf("%d/%d/%d", w.Table, w.Partition, w.Slot)
+					if !seen[k] {
+						seen[k] = true
+						best.writes = append(best.writes, w)
+					}
+				}
+			}
+		}
+		if best.txID != 0 && len(best.writes) > 0 {
+			out = append(out, best)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].coordSlot < out[j].coordSlot })
+	return out
+}
+
+// allReplicasUpdated reads the version word of every replica of every
+// write-set object (one parallel round) and reports whether all carry
+// the logged new version.
+func (m *Manager) allReplicasUpdated(ep *rdma.Endpoint, tx strayTx) (bool, error) {
+	var ops []*rdma.Op
+	var wants []uint64
+	for _, w := range tx.writes {
+		tab := m.cfg.Schema[w.Table]
+		for _, n := range m.Ring().Replicas(w.Partition) {
+			if m.cfg.Fabric.IsDown(n) {
+				continue // commit needed only the live replicas
+			}
+			buf := make([]byte, 8)
+			ops = append(ops, &rdma.Op{
+				Kind: rdma.OpRead,
+				Addr: rdma.Addr{Node: n, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotVersionOff},
+				Buf:  buf,
+			})
+			wants = append(wants, w.NewVersion)
+		}
+	}
+	_ = ep.Do(ops...)
+	for i, op := range ops {
+		if op.Err != nil {
+			continue // replica died mid-check: treat as tolerated
+		}
+		if kvlayout.Uint64(op.Buf) != wants[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// unlockTx releases the primary locks of a stray transaction with
+// guarded CASes: only a lock still held by exactly this transaction is
+// released, so re-execution (idempotence) and races with live
+// transactions are harmless. rollbackOf, when non-nil, gives the undo
+// image to write (under the lock) before unlocking.
+func (m *Manager) unlockTx(ep *rdma.Endpoint, tx strayTx, rollbackOf map[int][]rdma.Addr) error {
+	word := lockWordFor(tx.coord, tx.txID)
+	var ops []*rdma.Op
+	for i, w := range tx.writes {
+		tab := m.cfg.Schema[w.Table]
+		primary, ok := m.Ring().Primary(w.Partition, func(n rdma.NodeID) bool { return !m.cfg.Fabric.IsDown(n) })
+		if !ok {
+			continue
+		}
+		if rollbackOf != nil {
+			for _, addr := range rollbackOf[i] {
+				ops = append(ops, &rdma.Op{Kind: rdma.OpWrite, Addr: addr, Buf: kvlayout.RollbackImage(tab, w)})
+			}
+		}
+		ops = append(ops, &rdma.Op{
+			Kind:   rdma.OpCAS,
+			Addr:   rdma.Addr{Node: primary, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotLockOff},
+			Expect: word,
+			Swap:   0,
+		})
+	}
+	_ = ep.Do(ops...) // failed CASes mean "already released" — fine
+	return nil
+}
+
+// rollBack undoes every replica that carries the logged new version,
+// then releases the locks (one combined parallel round).
+func (m *Manager) rollBack(ep *rdma.Endpoint, tx strayTx) error {
+	// Find which replicas were updated (we already read versions once in
+	// allReplicasUpdated, but recovery re-reads per write so that a
+	// re-executed recovery — idempotence — stays correct).
+	rollback := make(map[int][]rdma.Addr)
+	var ops []*rdma.Op
+	var writeIdx []int
+	for i, w := range tx.writes {
+		tab := m.cfg.Schema[w.Table]
+		for _, n := range m.Ring().Replicas(w.Partition) {
+			if m.cfg.Fabric.IsDown(n) {
+				continue
+			}
+			// The version word starts the slot's rollback image, so the
+			// same address serves the check and the undo write.
+			addr := rdma.Addr{Node: n, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotVersionOff}
+			ops = append(ops, &rdma.Op{Kind: rdma.OpRead, Addr: addr, Buf: make([]byte, 8)})
+			writeIdx = append(writeIdx, i)
+		}
+	}
+	_ = ep.Do(ops...)
+	for k, op := range ops {
+		if op.Err != nil {
+			continue
+		}
+		i := writeIdx[k]
+		if kvlayout.Uint64(op.Buf) == tx.writes[i].NewVersion {
+			if DebugRollback != nil {
+				DebugRollback(tx.coord, tx.txID, tx.writes[i], kvlayout.Uint64(op.Buf))
+			}
+			rollback[i] = append(rollback[i], op.Addr)
+		}
+	}
+	return m.unlockTx(ep, tx, rollback)
+}
+
+// truncateAll invalidates every log area of the failed node on every
+// log node: one parallel round of 8-byte writes.
+func (m *Manager) truncateAll(ep *rdma.Endpoint, ev fdetect.Event) error {
+	region := kvlayout.LogRegionID(ev.Node)
+	var ops []*rdma.Op
+	for _, n := range m.logNodes(ev.Node) {
+		if m.cfg.Fabric.IsDown(n) || m.cfg.Fabric.LookupRegion(n, region) == nil {
+			continue
+		}
+		for slot := range ev.Coords {
+			if slot >= m.cfg.CoordsPerNode {
+				break
+			}
+			ops = append(ops, &rdma.Op{
+				Kind: rdma.OpWrite,
+				Addr: rdma.Addr{Node: n, Region: region, Offset: kvlayout.LogAreaOffset(slot) + kvlayout.TxLogOff},
+				Buf:  kvlayout.TruncateWord[:],
+			})
+		}
+	}
+	_ = ep.Do(ops...)
+	return nil
+}
+
+// releaseIntentLocks implements the traditional scheme's stray-lock
+// release: parse each coordinator's lock-intent log, CAS-release the
+// locks of the latest (not-logged) transaction, and raise the floor so
+// re-execution is a no-op.
+func (m *Manager) releaseIntentLocks(ep *rdma.Endpoint, regions map[rdma.NodeID][]byte, ev fdetect.Event) (int, error) {
+	freed := 0
+	region := kvlayout.LogRegionID(ev.Node)
+	for slot, coord := range ev.Coords {
+		if slot >= m.cfg.CoordsPerNode {
+			break
+		}
+		areaOff := kvlayout.LogAreaOffset(slot)
+		var intents []kvlayout.LockIntent
+		for _, buf := range regions {
+			got := kvlayout.DecodeLockIntents(buf[areaOff+kvlayout.LockLogOff : areaOff+kvlayout.LogAreaSize])
+			if len(got) > 0 && (len(intents) == 0 || got[0].TxID > intents[0].TxID) {
+				intents = got
+			}
+		}
+		if len(intents) == 0 {
+			continue
+		}
+		txID := intents[0].TxID
+		var ops []*rdma.Op
+		for _, li := range intents {
+			tab := m.cfg.Schema[li.Table]
+			primary, ok := m.Ring().Primary(li.Partition, func(n rdma.NodeID) bool { return !m.cfg.Fabric.IsDown(n) })
+			if !ok {
+				continue
+			}
+			ops = append(ops, &rdma.Op{
+				Kind:   rdma.OpCAS,
+				Addr:   rdma.Addr{Node: primary, Region: kvlayout.TableRegionID(li.Table, li.Partition), Offset: tab.SlotOffset(li.Slot) + kvlayout.SlotLockOff},
+				Expect: lockWordFor(coord, txID),
+				Swap:   0,
+			})
+		}
+		_ = ep.Do(ops...)
+		for _, op := range ops {
+			if op.Err == nil && op.Swapped {
+				freed++
+			}
+		}
+		// Raise the floor on every log copy.
+		var floor [8]byte
+		kvlayout.PutUint64(floor[:], txID)
+		var fops []*rdma.Op
+		for n := range regions {
+			fops = append(fops, &rdma.Op{
+				Kind: rdma.OpWrite,
+				Addr: rdma.Addr{Node: n, Region: region, Offset: areaOff + kvlayout.LockLogOff},
+				Buf:  floor[:],
+			})
+		}
+		_ = ep.Do(fops...)
+	}
+	return freed, nil
+}

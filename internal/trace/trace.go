@@ -1,0 +1,103 @@
+// Package trace records time-bucketed event counts — the commit
+// throughput time series of the fail-over experiments (§6.3).
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Point is one bucket of a throughput series.
+type Point struct {
+	// T is the bucket's start offset from the recorder's start.
+	T time.Duration
+	// Count is the number of events recorded in the bucket.
+	Count int64
+	// PerSec is the event rate over the bucket.
+	PerSec float64
+}
+
+// Recorder counts events into fixed-width time buckets. Hit is safe for
+// concurrent use by many goroutines.
+type Recorder struct {
+	start   time.Time
+	bucket  time.Duration
+	counts  []atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewRecorder creates a recorder covering `horizon` from now, divided
+// into buckets of width `bucket`. Events past the horizon are counted as
+// dropped rather than lost silently.
+func NewRecorder(horizon, bucket time.Duration) *Recorder {
+	n := int(horizon / bucket)
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{
+		start:  time.Now(),
+		bucket: bucket,
+		counts: make([]atomic.Int64, n),
+	}
+}
+
+// Hit records one event at the current time.
+func (r *Recorder) Hit() {
+	i := int(time.Since(r.start) / r.bucket)
+	if i < 0 || i >= len(r.counts) {
+		r.dropped.Add(1)
+		return
+	}
+	r.counts[i].Add(1)
+}
+
+// Elapsed returns time since the recorder started.
+func (r *Recorder) Elapsed() time.Duration { return time.Since(r.start) }
+
+// Dropped returns the number of events outside the horizon.
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+
+// Series returns the recorded buckets up to the last one that has
+// started.
+func (r *Recorder) Series() []Point {
+	n := int(time.Since(r.start)/r.bucket) + 1
+	if n > len(r.counts) {
+		n = len(r.counts)
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		c := r.counts[i].Load()
+		out[i] = Point{
+			T:      time.Duration(i) * r.bucket,
+			Count:  c,
+			PerSec: float64(c) / r.bucket.Seconds(),
+		}
+	}
+	return out
+}
+
+// Total returns the total event count across all buckets.
+func (r *Recorder) Total() int64 {
+	var t int64
+	for i := range r.counts {
+		t += r.counts[i].Load()
+	}
+	return t
+}
+
+// MeanRate returns the average events/second over [from, to) offsets,
+// mirroring the paper's "throughput between 10s-30s" summaries.
+func (r *Recorder) MeanRate(from, to time.Duration) float64 {
+	lo, hi := int(from/r.bucket), int(to/r.bucket)
+	if hi > len(r.counts) {
+		hi = len(r.counts)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var c int64
+	for i := lo; i < hi; i++ {
+		c += r.counts[i].Load()
+	}
+	return float64(c) / (time.Duration(hi-lo) * r.bucket).Seconds()
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderCountsIntoBuckets(t *testing.T) {
+	r := NewRecorder(time.Second, 50*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		r.Hit()
+	}
+	time.Sleep(60 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		r.Hit()
+	}
+	s := r.Series()
+	if len(s) < 2 {
+		t.Fatalf("series has %d buckets", len(s))
+	}
+	if s[0].Count != 10 {
+		t.Fatalf("bucket 0 = %d, want 10", s[0].Count)
+	}
+	if r.Total() != 15 {
+		t.Fatalf("total = %d, want 15", r.Total())
+	}
+	if s[0].PerSec != 200 {
+		t.Fatalf("bucket 0 rate = %v, want 200/s", s[0].PerSec)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(time.Second, 100*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Hit()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total() + r.Dropped(); got != 8000 {
+		t.Fatalf("total+dropped = %d, want 8000", got)
+	}
+}
+
+func TestRecorderHorizonDrops(t *testing.T) {
+	r := NewRecorder(10*time.Millisecond, 10*time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	r.Hit()
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+	if r.Total() != 0 {
+		t.Fatalf("total = %d, want 0", r.Total())
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	r := NewRecorder(time.Second, 10*time.Millisecond)
+	for i := 0; i < 50; i++ {
+		r.Hit()
+	}
+	// 50 hits in bucket 0; mean over the first 50ms = 1000/s.
+	if got := r.MeanRate(0, 50*time.Millisecond); got != 1000 {
+		t.Fatalf("MeanRate = %v, want 1000", got)
+	}
+	if got := r.MeanRate(100*time.Millisecond, 50*time.Millisecond); got != 0 {
+		t.Fatalf("inverted range MeanRate = %v, want 0", got)
+	}
+}

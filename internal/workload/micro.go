@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	pandora "pandora"
+)
+
+// Micro is the paper's microbenchmark: one table, 8 B keys, 40 B values,
+// an adjustable write ratio, and an adjustable hot-set size to control
+// contention (Figures 13-14 use 1 000 and 100 000 hot objects).
+type Micro struct {
+	// Keys is the dataset size (default 100 000).
+	Keys int
+	// WriteRatio in [0,1] (the paper sweeps this; 100% writes for the
+	// stall-sensitivity experiments).
+	WriteRatio float64
+	// HotKeys restricts accesses to the first HotKeys keys (0 = all).
+	HotKeys int
+	// OpsPerTx is the number of operations per transaction (default 2).
+	OpsPerTx int
+}
+
+func (m *Micro) keys() int {
+	if m.Keys == 0 {
+		return 100000
+	}
+	return m.Keys
+}
+
+func (m *Micro) ops() int {
+	if m.OpsPerTx == 0 {
+		return 2
+	}
+	return m.OpsPerTx
+}
+
+// Name implements Workload.
+func (m *Micro) Name() string { return "micro" }
+
+// Tables implements Workload.
+func (m *Micro) Tables() []pandora.TableSpec {
+	return []pandora.TableSpec{{Name: "micro", ValueSize: 40, Capacity: m.keys()}}
+}
+
+// Load implements Workload.
+func (m *Micro) Load(c *pandora.Cluster) error {
+	return c.LoadN("micro", m.keys(), func(k pandora.Key) []byte {
+		v := make([]byte, 40)
+		binary.LittleEndian.PutUint64(v, uint64(k))
+		return v
+	})
+}
+
+func (m *Micro) pick(r *rand.Rand) pandora.Key {
+	n := m.keys()
+	if m.HotKeys > 0 && m.HotKeys < n {
+		n = m.HotKeys
+	}
+	return pandora.Key(r.Intn(n))
+}
+
+// Next implements Workload.
+func (m *Micro) Next(r *rand.Rand) TxFunc {
+	write := r.Float64() < m.WriteRatio
+	return func(tx *pandora.Tx, r *rand.Rand) error {
+		for i := 0; i < m.ops(); i++ {
+			k := m.pick(r)
+			if write {
+				v := make([]byte, 40)
+				binary.LittleEndian.PutUint64(v, uint64(k))
+				binary.LittleEndian.PutUint64(v[8:], r.Uint64())
+				if err := tx.Write("micro", k, v); err != nil {
+					return err
+				}
+			} else {
+				if _, err := tx.Read("micro", k); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	pandora "pandora"
+)
+
+// TATP implements the Telecom Application Transaction Processing
+// benchmark (§4.1): four tables with 48 B values and the standard mix,
+// 80% of which is read-only.
+type TATP struct {
+	// Subscribers is the population size (default 10 000).
+	Subscribers int
+}
+
+func (t *TATP) subs() int {
+	if t.Subscribers == 0 {
+		return 10000
+	}
+	return t.Subscribers
+}
+
+// Name implements Workload.
+func (t *TATP) Name() string { return "tatp" }
+
+// Key packing: the composite benchmark keys are packed into the 8-byte
+// key space.
+func subKey(s int) pandora.Key     { return pandora.Key(s) }
+func aiKey(s, typ int) pandora.Key { return pandora.Key(uint64(s)<<2 | uint64(typ)) }
+func sfKey(s, typ int) pandora.Key { return pandora.Key(uint64(s)<<2 | uint64(typ)) }
+func cfKey(s, sf, start int) pandora.Key {
+	return pandora.Key(uint64(s)<<5 | uint64(sf)<<3 | uint64(start))
+}
+
+// Tables implements Workload.
+func (t *TATP) Tables() []pandora.TableSpec {
+	n := t.subs()
+	return []pandora.TableSpec{
+		{Name: "subscriber", ValueSize: 48, Capacity: n},
+		{Name: "access_info", ValueSize: 48, Capacity: 3 * n},
+		{Name: "special_facility", ValueSize: 48, Capacity: 3 * n},
+		{Name: "call_forwarding", ValueSize: 48, Capacity: 3 * n},
+	}
+}
+
+func tatpVal(tag uint64) []byte {
+	v := make([]byte, 48)
+	binary.LittleEndian.PutUint64(v, tag)
+	return v
+}
+
+// Load implements Workload: every subscriber gets 3 access-info rows and
+// 3 special facilities; even subscribers start with one call-forwarding
+// entry.
+func (t *TATP) Load(c *pandora.Cluster) error {
+	n := t.subs()
+	var subsKV, aiKV, sfKV, cfKV []pandora.KV
+	for s := 0; s < n; s++ {
+		subsKV = append(subsKV, pandora.KV{Key: subKey(s), Value: tatpVal(uint64(s))})
+		for typ := 0; typ < 3; typ++ {
+			aiKV = append(aiKV, pandora.KV{Key: aiKey(s, typ), Value: tatpVal(uint64(s))})
+			sfKV = append(sfKV, pandora.KV{Key: sfKey(s, typ), Value: tatpVal(uint64(s))})
+		}
+		if s%2 == 0 {
+			cfKV = append(cfKV, pandora.KV{Key: cfKey(s, 0, 0), Value: tatpVal(uint64(s))})
+		}
+	}
+	for _, l := range []struct {
+		t  string
+		kv []pandora.KV
+	}{{"subscriber", subsKV}, {"access_info", aiKV}, {"special_facility", sfKV}, {"call_forwarding", cfKV}} {
+		if err := c.Load(l.t, l.kv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Workload with the standard TATP mix:
+// GetSubscriberData 35%, GetAccessData 35%, GetNewDestination 10%
+// (all read-only = 80%), UpdateSubscriberData 2%, UpdateLocation 14%,
+// InsertCallForwarding 2%, DeleteCallForwarding 2%.
+func (t *TATP) Next(r *rand.Rand) TxFunc {
+	p := r.Intn(100)
+	switch {
+	case p < 35:
+		return t.getSubscriberData
+	case p < 70:
+		return t.getAccessData
+	case p < 80:
+		return t.getNewDestination
+	case p < 82:
+		return t.updateSubscriberData
+	case p < 96:
+		return t.updateLocation
+	case p < 98:
+		return t.insertCallForwarding
+	default:
+		return t.deleteCallForwarding
+	}
+}
+
+func (t *TATP) sub(r *rand.Rand) int { return r.Intn(t.subs()) }
+
+func (t *TATP) getSubscriberData(tx *pandora.Tx, r *rand.Rand) error {
+	_, err := tx.Read("subscriber", subKey(t.sub(r)))
+	return err
+}
+
+func (t *TATP) getAccessData(tx *pandora.Tx, r *rand.Rand) error {
+	_, err := tx.Read("access_info", aiKey(t.sub(r), r.Intn(3)))
+	return err
+}
+
+func (t *TATP) getNewDestination(tx *pandora.Tx, r *rand.Rand) error {
+	s := t.sub(r)
+	sf := r.Intn(3)
+	if _, err := tx.Read("special_facility", sfKey(s, sf)); err != nil {
+		return err
+	}
+	// The call-forwarding row may legitimately be absent.
+	if _, err := tx.Read("call_forwarding", cfKey(s, sf, 0)); err != nil && err != pandora.ErrNotFound {
+		return err
+	}
+	return nil
+}
+
+func (t *TATP) updateSubscriberData(tx *pandora.Tx, r *rand.Rand) error {
+	s := t.sub(r)
+	if err := tx.Write("subscriber", subKey(s), tatpVal(r.Uint64())); err != nil {
+		return err
+	}
+	return tx.Write("special_facility", sfKey(s, r.Intn(3)), tatpVal(r.Uint64()))
+}
+
+func (t *TATP) updateLocation(tx *pandora.Tx, r *rand.Rand) error {
+	return tx.Write("subscriber", subKey(t.sub(r)), tatpVal(r.Uint64()))
+}
+
+func (t *TATP) insertCallForwarding(tx *pandora.Tx, r *rand.Rand) error {
+	s := t.sub(r)
+	return tx.Insert("call_forwarding", cfKey(s, r.Intn(3), 1+r.Intn(2)), tatpVal(uint64(s)))
+}
+
+func (t *TATP) deleteCallForwarding(tx *pandora.Tx, r *rand.Rand) error {
+	s := t.sub(r)
+	return tx.Delete("call_forwarding", cfKey(s, r.Intn(3), r.Intn(3)))
+}

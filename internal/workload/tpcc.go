@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+
+	pandora "pandora"
+)
+
+// TPCC implements a key-value adaptation of TPC-C (§4.1): the nine
+// standard tables with 672 B values and the standard five-transaction
+// mix (NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%,
+// StockLevel 4%), which is ~95% write transactions as the paper reports.
+//
+// Composite keys are packed into the 8-byte key space; monotonic order
+// ids come from the district rows' next_o_id field, incremented
+// transactionally.
+type TPCC struct {
+	// Warehouses (default 2).
+	Warehouses int
+	// CustomersPerDistrict (default 100; spec value is 3 000).
+	CustomersPerDistrict int
+	// Items in the catalog (default 1 000; spec value is 100 000).
+	Items int
+	// OrderCapacity bounds the growing tables; order ids wrap at this
+	// many per district, overwriting the oldest rows (default 256 —
+	// sized for in-process runs; raise for long benchmarks).
+	OrderCapacity int
+}
+
+const tpccValueSize = 672
+const districts = 10
+
+func (t *TPCC) w() int {
+	if t.Warehouses == 0 {
+		return 2
+	}
+	return t.Warehouses
+}
+
+func (t *TPCC) custs() int {
+	if t.CustomersPerDistrict == 0 {
+		return 100
+	}
+	return t.CustomersPerDistrict
+}
+
+func (t *TPCC) items() int {
+	if t.Items == 0 {
+		return 1000
+	}
+	return t.Items
+}
+
+func (t *TPCC) ocap() int {
+	if t.OrderCapacity == 0 {
+		return 256
+	}
+	return t.OrderCapacity
+}
+
+// upsert inserts, falling back to an overwrite when the growing tables
+// wrap around their capacity.
+func upsert(tx *pandora.Tx, table string, k pandora.Key, v []byte) error {
+	err := tx.Insert(table, k, v)
+	if errors.Is(err, pandora.ErrExists) {
+		return tx.Write(table, k, v)
+	}
+	return err
+}
+
+// Name implements Workload.
+func (t *TPCC) Name() string { return "tpcc" }
+
+// Key packing.
+func whKey(w int) pandora.Key          { return pandora.Key(w) }
+func distKey(w, d int) pandora.Key     { return pandora.Key(uint64(w)<<8 | uint64(d)) }
+func custKey(w, d, c int) pandora.Key  { return pandora.Key(uint64(w)<<24 | uint64(d)<<16 | uint64(c)) }
+func itemKey(i int) pandora.Key        { return pandora.Key(i) }
+func stockKey(w, i int) pandora.Key    { return pandora.Key(uint64(w)<<32 | uint64(i)) }
+func orderKey(w, d, o int) pandora.Key { return pandora.Key(uint64(w)<<40 | uint64(d)<<32 | uint64(o)) }
+func olKey(w, d, o, l int) pandora.Key {
+	return pandora.Key(uint64(w)<<40 | uint64(d)<<32 | uint64(o)<<8 | uint64(l))
+}
+
+// Tables implements Workload.
+func (t *TPCC) Tables() []pandora.TableSpec {
+	w, oc := t.w(), t.ocap()
+	return []pandora.TableSpec{
+		{Name: "warehouse", ValueSize: tpccValueSize, Capacity: w},
+		{Name: "district", ValueSize: tpccValueSize, Capacity: w * districts},
+		{Name: "customer", ValueSize: tpccValueSize, Capacity: w * districts * t.custs()},
+		{Name: "history", ValueSize: tpccValueSize, Capacity: 4 * w * districts * oc},
+		{Name: "neworder", ValueSize: tpccValueSize, Capacity: w * districts * oc},
+		{Name: "order", ValueSize: tpccValueSize, Capacity: w * districts * oc},
+		{Name: "orderline", ValueSize: tpccValueSize, Capacity: 8 * w * districts * oc},
+		{Name: "item", ValueSize: tpccValueSize, Capacity: t.items()},
+		{Name: "stock", ValueSize: tpccValueSize, Capacity: w * t.items()},
+	}
+}
+
+// row builds a 672 B value with two leading u64 fields.
+func row(a, b uint64) []byte {
+	v := make([]byte, tpccValueSize)
+	binary.LittleEndian.PutUint64(v, a)
+	binary.LittleEndian.PutUint64(v[8:], b)
+	return v
+}
+
+func f0(v []byte) uint64 { return binary.LittleEndian.Uint64(v) }
+func f1(v []byte) uint64 { return binary.LittleEndian.Uint64(v[8:]) }
+
+// Load implements Workload.
+func (t *TPCC) Load(c *pandora.Cluster) error {
+	var wh, di, cu, it, st []pandora.KV
+	for w := 0; w < t.w(); w++ {
+		wh = append(wh, pandora.KV{Key: whKey(w), Value: row(0, 0)})
+		for d := 0; d < districts; d++ {
+			di = append(di, pandora.KV{Key: distKey(w, d), Value: row(1, 0)}) // next_o_id = 1
+			for cc := 0; cc < t.custs(); cc++ {
+				cu = append(cu, pandora.KV{Key: custKey(w, d, cc), Value: row(1000, 0)})
+			}
+		}
+		for i := 0; i < t.items(); i++ {
+			st = append(st, pandora.KV{Key: stockKey(w, i), Value: row(100, 0)})
+		}
+	}
+	for i := 0; i < t.items(); i++ {
+		it = append(it, pandora.KV{Key: itemKey(i), Value: row(uint64(i%90+10), 0)})
+	}
+	for _, l := range []struct {
+		t  string
+		kv []pandora.KV
+	}{{"warehouse", wh}, {"district", di}, {"customer", cu}, {"item", it}, {"stock", st}} {
+		if err := c.Load(l.t, l.kv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Workload with the standard mix.
+func (t *TPCC) Next(r *rand.Rand) TxFunc {
+	p := r.Intn(100)
+	switch {
+	case p < 45:
+		return t.newOrder
+	case p < 88:
+		return t.payment
+	case p < 92:
+		return t.orderStatus
+	case p < 96:
+		return t.delivery
+	default:
+		return t.stockLevel
+	}
+}
+
+func (t *TPCC) pickWD(r *rand.Rand) (int, int) { return r.Intn(t.w()), r.Intn(districts) }
+
+var errNoOrder = errors.New("tpcc: no such order yet")
+
+func (t *TPCC) newOrder(tx *pandora.Tx, r *rand.Rand) error {
+	w, d := t.pickWD(r)
+	cID := r.Intn(t.custs())
+	if _, err := tx.Read("warehouse", whKey(w)); err != nil {
+		return err
+	}
+	dv, err := tx.Read("district", distKey(w, d))
+	if err != nil {
+		return err
+	}
+	o := int(f0(dv))
+	if err := tx.Write("district", distKey(w, d), row(uint64(o+1), f1(dv))); err != nil {
+		return err
+	}
+	if _, err := tx.Read("customer", custKey(w, d, cID)); err != nil {
+		return err
+	}
+	oWrapped := o % t.ocap()
+	lines := 3 + r.Intn(6)
+	if err := upsert(tx, "order", orderKey(w, d, oWrapped), row(uint64(lines), uint64(cID))); err != nil {
+		return err
+	}
+	if err := upsert(tx, "neworder", orderKey(w, d, oWrapped), row(uint64(o), 0)); err != nil {
+		return err
+	}
+	for l := 0; l < lines; l++ {
+		i := r.Intn(t.items())
+		iv, err := tx.Read("item", itemKey(i))
+		if err != nil {
+			return err
+		}
+		sv, err := tx.Read("stock", stockKey(w, i))
+		if err != nil {
+			return err
+		}
+		qty := f0(sv)
+		if qty < 10 {
+			qty += 91
+		}
+		if err := tx.Write("stock", stockKey(w, i), row(qty-1, f1(sv)+1)); err != nil {
+			return err
+		}
+		if err := upsert(tx, "orderline", olKey(w, d, oWrapped, l), row(uint64(i), f0(iv))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *TPCC) payment(tx *pandora.Tx, r *rand.Rand) error {
+	w, d := t.pickWD(r)
+	cID := r.Intn(t.custs())
+	amt := uint64(r.Intn(5000) + 1)
+	wv, err := tx.Read("warehouse", whKey(w))
+	if err != nil {
+		return err
+	}
+	if err := tx.Write("warehouse", whKey(w), row(f0(wv)+amt, f1(wv))); err != nil {
+		return err
+	}
+	dv, err := tx.Read("district", distKey(w, d))
+	if err != nil {
+		return err
+	}
+	if err := tx.Write("district", distKey(w, d), row(f0(dv), f1(dv)+amt)); err != nil {
+		return err
+	}
+	cv, err := tx.Read("customer", custKey(w, d, cID))
+	if err != nil {
+		return err
+	}
+	if err := tx.Write("customer", custKey(w, d, cID), row(f0(cv)-amt, f1(cv)+1)); err != nil {
+		return err
+	}
+	// History key: random id within the table's wrap-around capacity;
+	// collisions overwrite the oldest record.
+	hcap := uint64(4 * t.w() * districts * t.ocap())
+	hk := pandora.Key(uint64(w)<<40 | uint64(r.Int63())%hcap)
+	return upsert(tx, "history", hk, row(amt, 0))
+}
+
+func (t *TPCC) orderStatus(tx *pandora.Tx, r *rand.Rand) error {
+	w, d := t.pickWD(r)
+	cID := r.Intn(t.custs())
+	if _, err := tx.Read("customer", custKey(w, d, cID)); err != nil {
+		return err
+	}
+	dv, err := tx.Read("district", distKey(w, d))
+	if err != nil {
+		return err
+	}
+	next := int(f0(dv))
+	if next <= 1 {
+		return errNoOrder
+	}
+	o := (1 + r.Intn(next-1)) % t.ocap()
+	ov, err := tx.Read("order", orderKey(w, d, o))
+	if err != nil {
+		return err
+	}
+	lines := int(f0(ov))
+	for l := 0; l < lines; l++ {
+		if _, err := tx.Read("orderline", olKey(w, d, o, l)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *TPCC) delivery(tx *pandora.Tx, r *rand.Rand) error {
+	w, d := t.pickWD(r)
+	dv, err := tx.Read("district", distKey(w, d))
+	if err != nil {
+		return err
+	}
+	next := int(f0(dv))
+	if next <= 1 {
+		return errNoOrder
+	}
+	o := (1 + r.Intn(next-1)) % t.ocap()
+	nv, err := tx.Read("neworder", orderKey(w, d, o))
+	if err != nil {
+		return err // already delivered: benign abort
+	}
+	_ = nv
+	if err := tx.Delete("neworder", orderKey(w, d, o)); err != nil {
+		return err
+	}
+	ov, err := tx.Read("order", orderKey(w, d, o))
+	if err != nil {
+		return err
+	}
+	cID := int(f1(ov))
+	cv, err := tx.Read("customer", custKey(w, d, cID))
+	if err != nil {
+		return err
+	}
+	return tx.Write("customer", custKey(w, d, cID), row(f0(cv)+10, f1(cv)))
+}
+
+func (t *TPCC) stockLevel(tx *pandora.Tx, r *rand.Rand) error {
+	w, d := t.pickWD(r)
+	if _, err := tx.Read("district", distKey(w, d)); err != nil {
+		return err
+	}
+	for n := 0; n < 5; n++ {
+		if _, err := tx.Read("stock", stockKey(w, r.Intn(t.items()))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package workload implements the paper's four benchmarks (§4.1): TATP,
+// SmallBank, TPC-C and the adjustable-write-ratio microbenchmark, with
+// the paper's key/value sizes (8 B keys; 672/48/16/40 B values) and
+// read/write mixes (TATP ~80% read-only; SmallBank and TPC-C
+// write-heavy). It also provides the multi-coordinator driver that runs
+// a workload against a cluster and records the commit-throughput time
+// series used by the fail-over experiments.
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pandora "pandora"
+	"pandora/internal/rdma"
+	"pandora/internal/trace"
+)
+
+// TxFunc is one transaction body. The driver wraps it in Begin/Commit.
+type TxFunc func(tx *pandora.Tx, r *rand.Rand) error
+
+// Workload generates transactions.
+type Workload interface {
+	Name() string
+	// Tables declares the schema the workload needs.
+	Tables() []pandora.TableSpec
+	// Load preloads the initial dataset.
+	Load(c *pandora.Cluster) error
+	// Next picks the next transaction per the benchmark's mix.
+	Next(r *rand.Rand) TxFunc
+}
+
+// Result summarises a driver run.
+type Result struct {
+	Committed int64
+	Aborted   int64
+	Crashed   int64 // transactions cut short by their node's crash
+	Elapsed   time.Duration
+}
+
+// CommitRate returns committed transactions per second.
+func (r Result) CommitRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// DriverConfig configures a run.
+type DriverConfig struct {
+	Cluster  *pandora.Cluster
+	Workload Workload
+	// Duration of the run (ignored if Stop is non-nil and closed early).
+	Duration time.Duration
+	// Stop ends the run when closed (optional).
+	Stop <-chan struct{}
+	// Recorder, when set, gets a Hit per commit.
+	Recorder *trace.Recorder
+	// Seed for deterministic per-worker randomness.
+	Seed int64
+	// Nodes restricts the run to these compute nodes (default: all).
+	Nodes []int
+	// Pace, when non-zero, is per-worker think time between
+	// transactions: the run becomes a closed-loop client model whose
+	// offered load is workers/Pace. Fail-over experiments use this so
+	// that losing a compute node visibly removes its share of capacity
+	// (on a multi-core testbed the CPU itself enforces that; in-process
+	// the survivors would otherwise absorb the freed cycles).
+	Pace time.Duration
+}
+
+// Run executes the workload on every coordinator of the selected
+// compute nodes until Duration elapses (or Stop closes), tolerating
+// node crashes mid-run: workers on crashed nodes stop, the rest
+// continue — exactly the fail-over scenario of §6.3.
+func Run(cfg DriverConfig) Result {
+	c := cfg.Cluster
+	nodes := cfg.Nodes
+	if nodes == nil {
+		for i := 0; i < c.ComputeNodes(); i++ {
+			nodes = append(nodes, i)
+		}
+	}
+	var committed, aborted, crashed atomic.Int64
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	if cfg.Stop != nil {
+		go func() {
+			select {
+			case <-cfg.Stop:
+				stopOnce.Do(func() { close(stop) })
+			case <-stop:
+			}
+		}()
+	}
+	timer := time.AfterFunc(cfg.Duration, func() { stopOnce.Do(func() { close(stop) }) })
+	defer timer.Stop()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	w := 0
+	for _, n := range nodes {
+		for coord := 0; coord < c.CoordinatorsPerNode(); coord++ {
+			wg.Add(1)
+			go func(node, coord, w int) {
+				defer wg.Done()
+				s := c.Session(node, coord)
+				r := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if cfg.Pace > 0 {
+						time.Sleep(cfg.Pace)
+					}
+					fn := cfg.Workload.Next(r)
+					tx := s.Begin()
+					err := fn(tx, r)
+					if err == nil {
+						err = tx.Commit()
+					} else if !tx.Done() {
+						_ = tx.Abort()
+					}
+					switch {
+					case err == nil:
+						committed.Add(1)
+						if cfg.Recorder != nil {
+							cfg.Recorder.Hit()
+						}
+					case errors.Is(err, rdma.ErrCrashed), errors.Is(err, rdma.ErrRevoked):
+						// The worker's node died or was fenced by
+						// active-link termination: stop, like the real
+						// process would.
+						crashed.Add(1)
+						return
+					case pandora.IsAborted(err) || errors.Is(err, pandora.ErrTxDone):
+						aborted.Add(1)
+					case errors.Is(err, pandora.ErrNotFound) || errors.Is(err, pandora.ErrExists):
+						// benign benchmark race (e.g. delete of a
+						// not-yet-inserted row): count as abort
+						aborted.Add(1)
+					default:
+						aborted.Add(1)
+					}
+				}
+			}(n, coord, w)
+			w++
+		}
+	}
+	wg.Wait()
+	return Result{
+		Committed: committed.Load(),
+		Aborted:   aborted.Load(),
+		Crashed:   crashed.Load(),
+		Elapsed:   time.Since(start),
+	}
+}

@@ -1,0 +1,541 @@
+// Package pandora is an in-process reproduction of Pandora — "Fast,
+// Highly Available, and Recoverable Transactions on Disaggregated Data
+// Stores" (EDBT 2025) — a fully one-sided transactional protocol for
+// disaggregated key-value stores with fast, non-blocking, correct
+// recovery from independent compute and memory failures.
+//
+// A Cluster wires together simulated memory servers (passive memory
+// reachable through one-sided RDMA verbs), compute servers running the
+// transactional protocol, a failure detector, and the recovery manager.
+// Applications open a Session on a coordinator and run transactions:
+//
+//	c, err := pandora.New(pandora.Config{
+//		Tables: []pandora.TableSpec{{Name: "accounts", ValueSize: 16, Capacity: 10000}},
+//	})
+//	...
+//	s := c.Session(0, 0)
+//	tx := s.Begin()
+//	v, _ := tx.Read("accounts", 42)
+//	_ = tx.Write("accounts", 42, newBalance)
+//	err = tx.Commit()
+//
+// Transactions are strictly serializable. Crashing a compute node
+// (Cluster.FailCompute) exercises the paper's recovery path: locks of
+// the failed node become stealable (PILL), its logged transactions are
+// rolled forward or back, and the surviving nodes keep executing
+// throughout.
+package pandora
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"pandora/internal/core"
+	"pandora/internal/fdetect"
+	"pandora/internal/kvlayout"
+	"pandora/internal/memnode"
+	"pandora/internal/place"
+	"pandora/internal/quorum"
+	"pandora/internal/rdma"
+	"pandora/internal/recovery"
+)
+
+// Key is an 8-byte object key.
+type Key = kvlayout.Key
+
+// Protocol selects the transactional protocol variant.
+type Protocol = core.Protocol
+
+// Protocol variants re-exported from the engine.
+const (
+	ProtocolPandora = core.ProtocolPandora
+	ProtocolFORD    = core.ProtocolFORD
+	ProtocolTradLog = core.ProtocolTradLog
+)
+
+// Bugs re-exports the seeded Table-1 bug toggles for the litmus tooling.
+type Bugs = core.Bugs
+
+// RecoveryStats re-exports per-recovery statistics.
+type RecoveryStats = recovery.Stats
+
+// TableSpec declares one table of the store.
+type TableSpec struct {
+	Name string
+	// ValueSize is the fixed value size in bytes (the paper's benchmarks
+	// use 672/48/16/40 B).
+	ValueSize int
+	// Capacity is the number of keys the table must hold; slot space is
+	// provisioned at twice the capacity.
+	Capacity int
+}
+
+// Config configures a Cluster. The zero value of each field gets a
+// sensible default matching the paper's testbed shape (2 memory + 2
+// compute nodes, f+1 = 2).
+type Config struct {
+	MemoryNodes         int
+	ComputeNodes        int
+	CoordinatorsPerNode int
+	// Replication is f+1, the number of replicas per partition and log.
+	Replication int
+	Partitions  uint32
+	Tables      []TableSpec
+
+	Protocol        Protocol
+	DisablePILL     bool
+	StallOnConflict bool
+	// SeedBugs enables the Table-1 FORD bugs for litmus validation.
+	SeedBugs Bugs
+
+	// ModelLatency attaches the paper-testbed latency model (2 µs RTT,
+	// 100 Gbps) so virtual clocks measure realistic verb costs.
+	ModelLatency bool
+
+	// LossProb and DupProb inject transport-level message loss and
+	// duplication (§2.1's failure model). The RC transport masks both —
+	// protocol semantics are unaffected; retransmissions are charged to
+	// virtual clocks and counted.
+	LossProb float64
+	DupProb  float64
+
+	// LiveFD runs heartbeat-based failure detection (§3.2.2 step 1) with
+	// FDTimeout (default 5 ms). Without it, failures are injected
+	// deterministically via FailCompute/FailMemory.
+	LiveFD    bool
+	FDTimeout time.Duration
+	// FDReplicas > 1 runs the distributed failure detector over a quorum
+	// ensemble (§3.2.4). Must be odd.
+	FDReplicas int
+
+	// Persistence models NVM on the memory servers (§7): commits make
+	// the undo log durable before applying and the data durable before
+	// acknowledging, via FORD's selective one-sided flush scheme. A
+	// memory server's power failure (PowerFailMemory) then loses only
+	// unacknowledged writes. Off by default — the paper's default is
+	// battery-backed DRAM, where no flushing is needed.
+	Persistence bool
+
+	// ScanRecovery uses the Baseline's stop-the-world scan recovery
+	// instead of Pandora's (for baseline experiments).
+	ScanRecovery bool
+	// NoAutoRecover disables automatic recovery on failure events; the
+	// caller drives the recovery manager directly.
+	NoAutoRecover bool
+}
+
+func (c *Config) fillDefaults() error {
+	if c.MemoryNodes == 0 {
+		c.MemoryNodes = 2
+	}
+	if c.ComputeNodes == 0 {
+		c.ComputeNodes = 2
+	}
+	if c.CoordinatorsPerNode == 0 {
+		c.CoordinatorsPerNode = 2
+	}
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
+	if c.Partitions == 0 {
+		c.Partitions = 16
+	}
+	if len(c.Tables) == 0 {
+		return fmt.Errorf("pandora: config needs at least one table")
+	}
+	if c.Replication > c.MemoryNodes {
+		return fmt.Errorf("pandora: replication %d exceeds memory nodes %d", c.Replication, c.MemoryNodes)
+	}
+	return nil
+}
+
+// Fabric node-id layout.
+const (
+	memNodeBase = rdma.NodeID(1000)
+	rcNodeID    = rdma.NodeID(900)
+)
+
+// Cluster is a running DKVS.
+type Cluster struct {
+	cfg    Config
+	fab    *rdma.Fabric
+	schema []kvlayout.Table
+	mems   []*memnode.Server
+	fd     *fdetect.Detector
+	store  *quorum.Store
+	mgr    *recovery.Manager
+
+	mu      sync.Mutex
+	nodes   []*core.ComputeNode
+	tableID map[string]kvlayout.TableID
+	lastRec map[rdma.NodeID]RecoveryStats
+	closed  bool
+
+	stopHB chan struct{}
+	hbWG   sync.WaitGroup
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	var lat rdma.LatencyModel
+	if cfg.ModelLatency {
+		lat = rdma.DefaultLatency()
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		fab:     rdma.NewFabric(lat),
+		tableID: make(map[string]kvlayout.TableID),
+		lastRec: make(map[rdma.NodeID]RecoveryStats),
+	}
+	if cfg.LossProb > 0 || cfg.DupProb > 0 {
+		c.fab.SetFaults(rdma.FaultModel{LossProb: cfg.LossProb, DupProb: cfg.DupProb, Seed: 1})
+	}
+	if cfg.Persistence {
+		c.fab.EnablePersistence()
+	}
+	for i, ts := range cfg.Tables {
+		if ts.ValueSize <= 0 || ts.Capacity <= 0 {
+			return nil, fmt.Errorf("pandora: table %q needs positive ValueSize and Capacity", ts.Name)
+		}
+		if _, dup := c.tableID[ts.Name]; dup {
+			return nil, fmt.Errorf("pandora: duplicate table %q", ts.Name)
+		}
+		// Provision 3x the per-partition average plus fixed slack:
+		// partition assignment is hashed, so small tables see heavy skew.
+		perPartition := ts.Capacity/int(cfg.Partitions) + 1
+		c.schema = append(c.schema, kvlayout.Table{
+			ID:        kvlayout.TableID(i),
+			ValueSize: ts.ValueSize,
+			Slots:     nextPow2(uint64(perPartition*3 + 32)),
+		})
+		c.tableID[ts.Name] = kvlayout.TableID(i)
+	}
+
+	memIDs := make([]rdma.NodeID, cfg.MemoryNodes)
+	for i := range memIDs {
+		memIDs[i] = memNodeBase + rdma.NodeID(i)
+	}
+	ring := place.New(memIDs, cfg.Replication, cfg.Partitions)
+	for _, id := range memIDs {
+		c.mems = append(c.mems, memnode.NewServer(c.fab, id, ring, c.schema))
+	}
+
+	if cfg.FDReplicas > 1 {
+		c.store = quorum.NewStore(cfg.FDReplicas)
+	}
+	c.fd = fdetect.New(fdetect.Config{
+		Timeout:  cfg.FDTimeout,
+		Replicas: max(1, cfg.FDReplicas),
+		Store:    c.store,
+	})
+	for _, id := range memIDs {
+		c.fd.RegisterMemory(id)
+	}
+
+	opts := core.Options{
+		Protocol:        cfg.Protocol,
+		Bugs:            cfg.SeedBugs,
+		DisablePILL:     cfg.DisablePILL,
+		StallOnConflict: cfg.StallOnConflict,
+		Persist:         cfg.Persistence,
+	}
+	var peers []recovery.ComputePeer
+	for i := 0; i < cfg.ComputeNodes; i++ {
+		nodeID := rdma.NodeID(i)
+		ids, err := c.fd.RegisterCompute(nodeID, cfg.CoordinatorsPerNode)
+		if err != nil {
+			return nil, err
+		}
+		cn := core.NewComputeNode(c.fab, nodeID, ring, c.schema, ids, opts)
+		for _, m := range c.mems {
+			m.EnsureLogRegion(nodeID, cfg.CoordinatorsPerNode)
+		}
+		c.nodes = append(c.nodes, cn)
+		peers = append(peers, cn)
+	}
+
+	c.fab.AddNode(rcNodeID)
+	c.mgr = recovery.NewManager(recovery.Config{
+		Fabric:        c.fab,
+		Ring:          ring,
+		Schema:        c.schema,
+		Mems:          c.mems,
+		Peers:         peers,
+		Protocol:      cfg.Protocol,
+		CoordsPerNode: cfg.CoordinatorsPerNode,
+		RCNode:        rcNodeID,
+	})
+
+	if !cfg.NoAutoRecover {
+		c.fd.Subscribe(c.onFailure)
+	}
+	if cfg.LiveFD {
+		c.fd.Start()
+		for _, cn := range c.nodes {
+			cn.StartHeartbeats(c.fd, time.Millisecond)
+		}
+		c.stopHB = make(chan struct{})
+		// Memory servers heartbeat too; a crashed server goes silent and
+		// is detected by the same timeout.
+		c.hbWG.Add(1)
+		go func() {
+			defer c.hbWG.Done()
+			t := time.NewTicker(time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stopHB:
+					return
+				case <-t.C:
+					for _, m := range c.mems {
+						if !m.Down() {
+							c.fd.Heartbeat(m.ID())
+						}
+					}
+				}
+			}
+		}()
+	}
+	return c, nil
+}
+
+// onFailure is the FD subscription driving automatic recovery.
+func (c *Cluster) onFailure(ev fdetect.Event) {
+	switch ev.Kind {
+	case fdetect.Compute:
+		var stats RecoveryStats
+		var err error
+		if c.cfg.ScanRecovery {
+			stats, err = c.mgr.ScanRecoverCompute(ev)
+		} else {
+			stats, err = c.mgr.RecoverCompute(ev)
+		}
+		if err == nil {
+			c.mu.Lock()
+			c.lastRec[ev.Node] = stats
+			c.mu.Unlock()
+		}
+	case fdetect.Memory:
+		_ = c.mgr.RecoverMemory(ev)
+	}
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	nodes := append([]*core.ComputeNode{}, c.nodes...)
+	c.mu.Unlock()
+	if c.cfg.LiveFD {
+		c.fd.Stop()
+		for _, cn := range nodes {
+			cn.StopHeartbeats()
+		}
+		close(c.stopHB)
+		c.hbWG.Wait()
+	}
+}
+
+// nextPow2 rounds up to a power of two (minimum 8).
+func nextPow2(n uint64) uint64 {
+	if n < 8 {
+		return 8
+	}
+	return 1 << (64 - bits.LeadingZeros64(n-1))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// KV is one preloaded key-value pair.
+type KV struct {
+	Key   Key
+	Value []byte
+}
+
+// Load bulk-loads items into a table before (or between) runs. Items are
+// loaded on every replica of their partition.
+func (c *Cluster) Load(table string, items []KV) error {
+	id, ok := c.tableID[table]
+	if !ok {
+		return fmt.Errorf("pandora: unknown table %q", table)
+	}
+	ring := c.mgr.Ring()
+	byPart := make(map[uint32][]memnode.Item)
+	for _, kv := range items {
+		p := ring.Partition(kv.Key)
+		byPart[p] = append(byPart[p], memnode.Item{Key: kv.Key, Value: kv.Value})
+	}
+	for p, its := range byPart {
+		for _, rep := range ring.Replicas(p) {
+			srv := c.memByID(rep)
+			if srv == nil {
+				return fmt.Errorf("pandora: no memory server %d", rep)
+			}
+			if _, err := srv.Preload(id, p, its); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadN preloads keys 0..n-1 with values produced by value(k).
+func (c *Cluster) LoadN(table string, n int, value func(Key) []byte) error {
+	items := make([]KV, n)
+	for i := range items {
+		items[i] = KV{Key: Key(i), Value: value(Key(i))}
+	}
+	return c.Load(table, items)
+}
+
+func (c *Cluster) memByID(id rdma.NodeID) *memnode.Server {
+	for _, m := range c.mems {
+		if m.ID() == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// TableID resolves a table name; it panics on unknown names (a
+// programming error).
+func (c *Cluster) TableID(name string) kvlayout.TableID {
+	id, ok := c.tableID[name]
+	if !ok {
+		panic(fmt.Sprintf("pandora: unknown table %q", name))
+	}
+	return id
+}
+
+// ComputeNodes returns the number of compute nodes.
+func (c *Cluster) ComputeNodes() int { return len(c.nodes) }
+
+// MemoryNodes returns the number of memory nodes.
+func (c *Cluster) MemoryNodes() int { return len(c.mems) }
+
+// CoordinatorsPerNode returns the configured coordinator count.
+func (c *Cluster) CoordinatorsPerNode() int { return c.cfg.CoordinatorsPerNode }
+
+// node returns compute node i (current instance, post-restart aware).
+func (c *Cluster) node(i int) *core.ComputeNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
+
+// Engine exposes the underlying compute node for advanced use (crash
+// injection in the litmus framework, clock attachment in benches).
+func (c *Cluster) Engine(node int) *core.ComputeNode { return c.node(node) }
+
+// AttachClock attaches a fresh virtual clock to a coordinator and
+// returns it; subsequent transactions on that session charge modelled
+// network time to it (requires ModelLatency for non-zero charges).
+func (c *Cluster) AttachClock(node, coord int) *rdma.VClock {
+	clk := &rdma.VClock{}
+	c.node(node).Coordinator(coord).WithClock(clk)
+	return clk
+}
+
+// Recovery exposes the recovery manager.
+func (c *Cluster) Recovery() *recovery.Manager { return c.mgr }
+
+// Detector exposes the failure detector.
+func (c *Cluster) Detector() *fdetect.Detector { return c.fd }
+
+// ConsistencyReport is the result of CheckConsistency.
+type ConsistencyReport struct {
+	// DuplicateKeys lists keys present in more than one slot of a
+	// partition (must never happen).
+	DuplicateKeys []Key
+	// DivergentKeys lists keys whose replicas disagree on value or
+	// version (only meaningful on a quiescent cluster).
+	DivergentKeys []Key
+	// LockedSlots counts slots with held locks (non-zero on a quiescent
+	// cluster indicates stray locks).
+	LockedSlots int
+	// Keys is the number of distinct present keys found.
+	Keys int
+}
+
+// CheckConsistency host-scans every replica of a table and verifies the
+// structural invariants: no key occupies two slots of a partition, and
+// all live replicas agree byte-for-byte on version and value. Run it on
+// a quiescent cluster (tests, post-recovery audits).
+func (c *Cluster) CheckConsistency(table string) (ConsistencyReport, error) {
+	id, ok := c.tableID[table]
+	if !ok {
+		return ConsistencyReport{}, fmt.Errorf("pandora: unknown table %q", table)
+	}
+	var rep ConsistencyReport
+	ring := c.mgr.Ring()
+	for p := uint32(0); p < ring.Partitions(); p++ {
+		type state struct {
+			version uint64
+			value   string
+			slots   int
+		}
+		perReplica := make(map[rdma.NodeID]map[Key]state)
+		for _, n := range ring.Replicas(p) {
+			if c.fab.IsDown(n) {
+				continue
+			}
+			srv := c.memByID(n)
+			seen := make(map[Key]state)
+			err := srv.ScanSlots(id, p, func(_ uint64, sl kvlayout.Slot, _ uint64) {
+				if kvlayout.IsLocked(sl.Lock) {
+					rep.LockedSlots++
+				}
+				if !sl.Present {
+					return
+				}
+				st := seen[sl.Key]
+				st.slots++
+				st.version = sl.Version
+				st.value = string(sl.Value)
+				seen[sl.Key] = st
+			})
+			if err != nil {
+				return rep, err
+			}
+			perReplica[n] = seen
+		}
+		// Duplicate slots within one replica.
+		var primarySeen map[Key]state
+		for _, seen := range perReplica {
+			for k, st := range seen {
+				if st.slots > 1 {
+					rep.DuplicateKeys = append(rep.DuplicateKeys, k)
+				}
+			}
+			if primarySeen == nil {
+				primarySeen = seen
+			}
+		}
+		// Replica divergence.
+		for k, st := range primarySeen {
+			rep.Keys++
+			for _, seen := range perReplica {
+				o, ok := seen[k]
+				if !ok || o.version != st.version || o.value != st.value {
+					rep.DivergentKeys = append(rep.DivergentKeys, k)
+					break
+				}
+			}
+		}
+	}
+	return rep, nil
+}

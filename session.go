@@ -1,0 +1,157 @@
+package pandora
+
+import (
+	"errors"
+	"fmt"
+
+	"pandora/internal/core"
+	"pandora/internal/kvlayout"
+)
+
+// Session is a client handle bound to one transaction coordinator. A
+// session runs one transaction at a time; open one session per worker
+// goroutine.
+type Session struct {
+	c  *Cluster
+	co *core.Coordinator
+}
+
+// Session returns the coordinator handle for (compute node, coordinator)
+// — the paper's unit of transaction concurrency.
+func (c *Cluster) Session(node, coord int) *Session {
+	cn := c.node(node)
+	return &Session{c: c, co: cn.Coordinator(coord)}
+}
+
+// CoordinatorID returns the session's unique coordinator-id (embedded in
+// every lock the session takes — the PILL identity).
+func (s *Session) CoordinatorID() kvlayout.CoordID { return s.co.ID() }
+
+// Begin starts a transaction.
+func (s *Session) Begin() *Tx {
+	return &Tx{c: s.c, inner: s.co.Begin()}
+}
+
+// Update runs fn inside a transaction and commits, retrying aborts up to
+// maxRetries times. It is the convenience most applications want.
+func (s *Session) Update(maxRetries int, fn func(tx *Tx) error) error {
+	var err error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		tx := s.Begin()
+		if err = fn(tx); err != nil {
+			if !tx.Done() {
+				_ = tx.Abort()
+			}
+			if IsAborted(err) {
+				continue // conflicting abort: retry
+			}
+			return err
+		}
+		if err = tx.Commit(); err == nil {
+			return nil
+		}
+		if !IsAborted(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// Tx is one transaction. Not safe for concurrent use.
+type Tx struct {
+	c     *Cluster
+	inner *core.Tx
+}
+
+// Errors re-exported for callers.
+var (
+	ErrAborted  = core.ErrAborted
+	ErrNotFound = core.ErrNotFound
+	ErrExists   = core.ErrExists
+	ErrTxDone   = core.ErrTxDone
+)
+
+// IsAborted reports whether err is a transaction abort.
+func IsAborted(err error) bool { return errors.Is(err, core.ErrAborted) }
+
+// AbortReason extracts the abort reason, or "".
+func AbortReason(err error) string { return core.AbortReason(err) }
+
+func (tx *Tx) table(name string) (kvlayout.TableID, error) {
+	id, ok := tx.c.tableID[name]
+	if !ok {
+		return 0, fmt.Errorf("pandora: unknown table %q", name)
+	}
+	return id, nil
+}
+
+// Read returns the committed value of key (or this transaction's own
+// pending write).
+func (tx *Tx) Read(table string, key Key) ([]byte, error) {
+	id, err := tx.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return tx.inner.Read(id, key)
+}
+
+// Write stages an update of an existing key.
+func (tx *Tx) Write(table string, key Key, value []byte) error {
+	id, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	return tx.inner.Write(id, key, value)
+}
+
+// Insert stages creation of a new key.
+func (tx *Tx) Insert(table string, key Key, value []byte) error {
+	id, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	return tx.inner.Insert(id, key, value)
+}
+
+// Delete stages removal of an existing key.
+func (tx *Tx) Delete(table string, key Key) error {
+	id, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	return tx.inner.Delete(id, key)
+}
+
+// ReadRange reads every present key in [lo, hi] in key order, calling fn
+// for each; fn returning false stops the scan.
+func (tx *Tx) ReadRange(table string, lo, hi Key, fn func(k Key, v []byte) bool) error {
+	id, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	return tx.inner.ReadRange(id, lo, hi, fn)
+}
+
+// Commit validates and commits; on conflict it aborts and returns an
+// error matching ErrAborted.
+func (tx *Tx) Commit() error { return tx.inner.Commit() }
+
+// Abort aborts the transaction.
+func (tx *Tx) Abort() error { return tx.inner.Abort() }
+
+// Done reports whether the transaction has finished.
+func (tx *Tx) Done() bool { return tx.inner.Done() }
+
+// CommitAcked reports whether the client was sent a commit
+// acknowledgement (used by the litmus framework for Cor3 checks).
+func (tx *Tx) CommitAcked() bool { return tx.inner.AckedCommit }
+
+// AbortAcked reports whether the client was sent an abort
+// acknowledgement.
+func (tx *Tx) AbortAcked() bool { return tx.inner.AckedAbort }
+
+// WriteSetSize returns the number of staged writes (diagnostics).
+func (tx *Tx) WriteSetSize() int { return tx.inner.WriteSetSize() }
+
+// ReadSetSize returns the number of read-set entries (diagnostics).
+func (tx *Tx) ReadSetSize() int { return tx.inner.ReadSetSize() }

@@ -20,15 +20,13 @@ func (c *Cluster) CrashCompute(i int) { c.node(i).Crash() }
 func (c *Cluster) FailCompute(i int) (RecoveryStats, error) {
 	cn := c.node(i)
 	cn.Crash()
-	ev, ok := c.fd.MarkFailed(cn.ID())
-	if !ok {
+	if _, ok := c.fd.MarkFailed(cn.ID()); !ok {
 		// Already detected (e.g. by a live FD); wait for its recovery
 		// record.
 		return c.waitRecovery(cn.ID(), time.Second)
 	}
 	if c.cfg.NoAutoRecover {
 		// Caller drives the manager directly.
-		_ = ev
 		return RecoveryStats{}, nil
 	}
 	return c.lastRecovery(cn.ID())
@@ -56,16 +54,27 @@ func (c *Cluster) lastRecovery(id rdma.NodeID) (RecoveryStats, error) {
 	return st, nil
 }
 
-// waitRecovery polls for a recovery record (live-FD mode).
+// waitRecovery blocks until a recovery record for id lands (live-FD
+// mode), woken by the recWake broadcast that onFailure fires when it
+// stores the record — no polling.
 func (c *Cluster) waitRecovery(id rdma.NodeID, timeout time.Duration) (RecoveryStats, error) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if st, err := c.lastRecovery(id); err == nil {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		c.mu.Lock()
+		st, ok := c.lastRec[id]
+		wake := c.recWake
+		c.mu.Unlock()
+		if ok {
 			return st, nil
 		}
-		time.Sleep(time.Millisecond)
+		select {
+		case <-wake:
+			// a recovery record landed; re-check whether it is ours
+		case <-deadline.C:
+			return RecoveryStats{}, fmt.Errorf("pandora: recovery of node %d not observed within %v", id, timeout)
+		}
 	}
-	return RecoveryStats{}, fmt.Errorf("pandora: recovery of node %d not observed within %v", id, timeout)
 }
 
 // LastRecovery returns the stats of compute node i's most recent
@@ -84,8 +93,14 @@ func (c *Cluster) RestartCompute(i int) error {
 	if !old.Crashed() && !c.fd.IsFailed(old.ID()) {
 		return fmt.Errorf("pandora: compute node %d is not failed", i)
 	}
+	// Terminate the previous incarnation before reusing its resources. A
+	// SOFT-failed node is a live zombie fenced only by link revocation —
+	// restoring the links below would otherwise un-fence it (its
+	// incarnation gate only closes on a crash) and let a declared-failed
+	// coordinator write again, racing PILL steals of its stray locks.
+	old.Crash()
 	nodeID := old.ID()
-	for _, m := range c.mems {
+	for _, m := range c.memList() {
 		m.RestoreLink(nodeID)
 	}
 	c.fab.SetCrashed(nodeID, false)
@@ -100,13 +115,15 @@ func (c *Cluster) RestartCompute(i int) error {
 		DisablePILL:     c.cfg.DisablePILL,
 		StallOnConflict: c.cfg.StallOnConflict,
 		Persist:         c.cfg.Persistence,
+		VerbTimeout:     c.cfg.VerbTimeout,
 	}
 	ring := c.mgr.Ring()
 	cn := core.NewComputeNode(c.fab, nodeID, ring, c.schema, ids, opts)
+	cn.SetSuspectReporter(func(n rdma.NodeID) { c.fd.Suspect(n) })
 	// The rejoining node must learn the current failure state: every
 	// failed coordinator-id and every dead memory server.
 	cn.NotifyStrayLocks(c.fd.FailedIDs().IDs())
-	for _, m := range c.mems {
+	for _, m := range c.memList() {
 		if c.fab.IsDown(m.ID()) {
 			cn.NotifyMemoryFailure(m.ID())
 		}
@@ -122,12 +139,12 @@ func (c *Cluster) RestartCompute(i int) error {
 }
 
 // CrashMemory fail-stops memory node i (index into the memory servers).
-func (c *Cluster) CrashMemory(i int) { c.mems[i].Crash() }
+func (c *Cluster) CrashMemory(i int) { c.mem(i).Crash() }
 
 // FailMemory crashes memory node i and deterministically drives
 // detection + the memory-failure recovery (primary promotion).
 func (c *Cluster) FailMemory(i int) error {
-	srv := c.mems[i]
+	srv := c.mem(i)
 	srv.Crash()
 	if _, ok := c.fd.MarkFailed(srv.ID()); !ok {
 		return fmt.Errorf("pandora: memory node %d already failed", i)
@@ -140,7 +157,7 @@ func (c *Cluster) FailMemory(i int) error {
 // durable NVM image — unacknowledged (un-flushed) writes are lost —
 // then detection + primary promotion run as for any memory failure.
 func (c *Cluster) PowerFailMemory(i int) error {
-	srv := c.mems[i]
+	srv := c.mem(i)
 	c.fab.PowerFail(srv.ID())
 	if _, ok := c.fd.MarkFailed(srv.ID()); !ok {
 		return fmt.Errorf("pandora: memory node %d already failed", i)
@@ -155,27 +172,80 @@ func (c *Cluster) PowerFailMemory(i int) error {
 // re-replication resynchronises it; with a single replica (pure NVM
 // durability) the durable image is the authoritative state.
 func (c *Cluster) RestartMemory(i int) {
-	c.mems[i].Restart()
+	srv := c.mem(i)
+	srv.Restart()
 	c.mu.Lock()
 	nodes := append([]*core.ComputeNode{}, c.nodes...)
 	c.mu.Unlock()
 	for _, cn := range nodes {
-		cn.NotifyMemoryRecovered(c.mems[i].ID())
+		cn.NotifyMemoryRecovered(srv.ID())
 	}
+	// Re-arm monitoring: the FD resumes heartbeat tracking with a clean
+	// suspicion slate, so the restarted node can be failed again later.
+	c.fd.RegisterMemory(srv.ID())
 }
 
 // Rereplicate replaces failed memory node i with a fresh server,
 // restoring full redundancy (stop-the-world, §3.2.5).
 func (c *Cluster) Rereplicate(i int) (*memnode.Server, error) {
-	dead := c.mems[i]
+	dead := c.mem(i)
 	replID := dead.ID() + 500
 	repl, err := c.mgr.Rereplicate(dead.ID(), replID)
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.mems[i] = repl
+	c.mu.Unlock()
+	c.fd.ClearSuspicions(dead.ID())
+	c.fd.RegisterMemory(replID)
 	return repl, nil
 }
+
+// PartitionLink drops the fabric path from compute node i to memory
+// node j: every verb on the link fails fast with ErrLinkPartitioned
+// until HealLink. The nodes themselves stay healthy — this is a pure
+// network fault.
+func (c *Cluster) PartitionLink(compute, mem int) {
+	c.fab.PartitionLink(c.node(compute).ID(), c.mem(mem).ID())
+}
+
+// StallLink makes verbs from compute node i to memory node j hang —
+// neither completing nor failing — until the link heals, one endpoint
+// dies, or the verb's deadline (Config.VerbTimeout) fires. This is the
+// gray-failure case: the link looks alive but makes no progress.
+func (c *Cluster) StallLink(compute, mem int) {
+	c.fab.StallLink(c.node(compute).ID(), c.mem(mem).ID())
+}
+
+// SlowLink degrades the link from compute node i to memory node j:
+// every verb's modelled latency is multiplied by factor and extended by
+// delay. Verbs whose degraded latency exceeds Config.VerbTimeout fail
+// with ErrVerbTimeout.
+func (c *Cluster) SlowLink(compute, mem int, factor float64, delay time.Duration) {
+	c.fab.SlowLink(c.node(compute).ID(), c.mem(mem).ID(), factor, delay)
+}
+
+// HealLink removes any fault rule on the compute-i → memory-j link and
+// clears the FD suspicion count accumulated against the memory node, so
+// a healed link does not leave it one report short of escalation.
+func (c *Cluster) HealLink(compute, mem int) {
+	memID := c.mem(mem).ID()
+	c.fab.HealLink(c.node(compute).ID(), memID)
+	c.fd.ClearSuspicions(memID)
+}
+
+// HealAllLinks removes every link fault rule in the fabric and clears
+// all memory-node suspicion counts.
+func (c *Cluster) HealAllLinks() {
+	c.fab.HealAllLinks()
+	for _, m := range c.memList() {
+		c.fd.ClearSuspicions(m.ID())
+	}
+}
+
+// LinkStats returns the fabric's link-fault counters.
+func (c *Cluster) LinkStats() rdma.LinkStats { return c.fab.LinkStats() }
 
 // RecycleCoordinatorIDs runs the background stray-lock scan that makes
 // failed coordinator-ids reusable (§3.1.2), returning the number of

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// regimes (heartbeat deadlines) are relaxed accordingly.
+const raceEnabled = true

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic: the schedule is a pure function of
+// (seed, scenario, shape).
+func TestScheduleDeterministic(t *testing.T) {
+	for _, scenario := range Scenarios() {
+		a, err := Schedule(42, scenario, 3, 3, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		b, err := Schedule(42, scenario, 3, 3, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("%s: same seed produced different schedules:\n%v\n%v", scenario, a, b)
+		}
+		c, err := Schedule(43, scenario, 3, 3, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if fmt.Sprint(a) == fmt.Sprint(c) {
+			t.Errorf("%s: seeds 42 and 43 produced identical schedules", scenario)
+		}
+	}
+}
+
+// TestScheduleValidity: generated schedules respect the safety rules on
+// many seeds — at least one alive compute, at most one failed memory,
+// no stop-the-world event under an active link fault, and a trailing
+// cleanup that leaves everything healed.
+func TestScheduleValidity(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		for _, scenario := range Scenarios() {
+			events, err := Schedule(seed, scenario, 3, 3, 25)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, scenario, err)
+			}
+			st := &schedState{down: make([]bool, 3), failedMem: -1, links: map[[2]int]bool{}, memCount: 3}
+			for i, ev := range events {
+				if !st.feasible(ev.Kind) {
+					t.Fatalf("seed %d %s: event %d (%s) infeasible in state %+v", seed, scenario, i, ev, st)
+				}
+				st.apply(ev)
+				if st.aliveComputes() == 0 {
+					t.Fatalf("seed %d %s: event %d (%s) left zero alive computes", seed, scenario, i, ev)
+				}
+			}
+			if len(st.links) != 0 || st.failedMem >= 0 || st.aliveComputes() != 3 {
+				t.Fatalf("seed %d %s: schedule ends unhealed: %+v", seed, scenario, st)
+			}
+		}
+	}
+}
+
+// runScenario runs one seeded scenario and fails the test on any
+// violation.
+func runScenario(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	var log strings.Builder
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(&log, format+"\n", args...)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run failed: %v\nlog:\n%s", err, log.String())
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v\nlog:\n%s", res.Violations, log.String())
+	}
+	if res.Acked == 0 {
+		t.Fatalf("no acked commits\nlog:\n%s", log.String())
+	}
+	return res
+}
+
+// TestScenarios drives every scenario × workload combination through
+// the engine with audits after each event.
+func TestScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios skipped in -short mode")
+	}
+	for _, scenario := range Scenarios() {
+		for _, wl := range []string{"counter", "bank"} {
+			scenario, wl := scenario, wl
+			t.Run(scenario+"/"+wl, func(t *testing.T) {
+				runScenario(t, Config{
+					Seed:     42,
+					Scenario: scenario,
+					Workload: wl,
+					Events:   10,
+					Gap:      time.Millisecond,
+				})
+			})
+		}
+	}
+}
+
+// TestRunDeterministicLog: two runs with the same seed emit
+// byte-identical event logs (escalation off). This is the property that
+// makes a chaos failure reproducible by seed.
+func TestRunDeterministicLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos determinism test skipped in -short mode")
+	}
+	capture := func() string {
+		var log strings.Builder
+		cfg := Config{Seed: 7, Scenario: "mixed", Events: 8, Gap: time.Millisecond,
+			Logf: func(format string, args ...any) { fmt.Fprintf(&log, format+"\n", args...) }}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("violations: %v\nlog:\n%s", res.Violations, log.String())
+		}
+		return log.String()
+	}
+	a := capture()
+	b := capture()
+	if a != b {
+		t.Fatalf("same-seed runs diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestShortSmoke is the -short mode smoke: a tiny mixed run that CI can
+// afford on every push.
+func TestShortSmoke(t *testing.T) {
+	runScenario(t, Config{Seed: 1, Scenario: "mixed", Events: 4, Gap: 500 * time.Microsecond})
+}

@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	pandora "pandora"
+)
+
+// A workload stages application transactions and audits its own
+// invariant against the values the engine reads back on a quiesced
+// cluster. step runs on worker goroutines; ack/unknown record the
+// client-visible outcome of the step identified by tag; check is called
+// under the engine's quiesce gate.
+type workload interface {
+	name() string
+	table() pandora.TableSpec
+	load(c *pandora.Cluster) error
+	// step stages one transaction's operations on tx; the engine
+	// commits. tag identifies the step for ack/unknown accounting.
+	step(tx *pandora.Tx, rng *rand.Rand) (tag int, err error)
+	ack(tag int)
+	unknown(tag int)
+	// check audits the invariant given the final (or quiesced
+	// mid-run) value of every key.
+	check(vals []int64) []string
+}
+
+func newWorkload(name string, keys int) (workload, error) {
+	switch name {
+	case "counter":
+		return newCounter(keys), nil
+	case "bank":
+		return newBank(keys), nil
+	}
+	return nil, fmt.Errorf("chaos: unknown workload %q (valid: counter, bank)", name)
+}
+
+// counter increments random keys by one. Invariant (ack-bounded, the
+// cluster-scale Cor2/Cor3 check): every key's value lies in
+// [acked, acked+unknown] — an acknowledged increment is never lost and
+// an increment is never applied twice.
+type counter struct {
+	keys int
+	mu   sync.Mutex
+	ackd []int64
+	unkn []int64
+}
+
+func newCounter(keys int) *counter {
+	return &counter{keys: keys, ackd: make([]int64, keys), unkn: make([]int64, keys)}
+}
+
+func (w *counter) name() string { return "counter" }
+
+func (w *counter) table() pandora.TableSpec {
+	return pandora.TableSpec{Name: "ctr", ValueSize: 8, Capacity: w.keys}
+}
+
+func (w *counter) load(c *pandora.Cluster) error {
+	return c.LoadN("ctr", w.keys, func(pandora.Key) []byte { return make([]byte, 8) })
+}
+
+func (w *counter) step(tx *pandora.Tx, rng *rand.Rand) (int, error) {
+	k := rng.Intn(w.keys)
+	v, err := tx.Read("ctr", pandora.Key(k))
+	if err != nil {
+		return k, err
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(v)+1)
+	return k, tx.Write("ctr", pandora.Key(k), buf)
+}
+
+func (w *counter) ack(tag int) {
+	w.mu.Lock()
+	w.ackd[tag]++
+	w.mu.Unlock()
+}
+
+func (w *counter) unknown(tag int) {
+	w.mu.Lock()
+	w.unkn[tag]++
+	w.mu.Unlock()
+}
+
+func (w *counter) check(vals []int64) []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var violations []string
+	for k, v := range vals {
+		lo := w.ackd[k]
+		hi := lo + w.unkn[k]
+		if v < lo || v > hi {
+			violations = append(violations, fmt.Sprintf(
+				"counter key %d: value %d outside [acked=%d, acked+unknown=%d]", k, v, lo, hi))
+		}
+	}
+	return violations
+}
+
+// bank transfers random amounts between random account pairs. Invariant:
+// the total balance is conserved — transfers move money, indeterminate
+// outcomes included, so the sum never changes.
+type bank struct {
+	keys    int
+	initial int64
+}
+
+func newBank(keys int) *bank { return &bank{keys: keys, initial: 1000} }
+
+func (w *bank) name() string { return "bank" }
+
+func (w *bank) table() pandora.TableSpec {
+	return pandora.TableSpec{Name: "acct", ValueSize: 8, Capacity: w.keys}
+}
+
+func (w *bank) load(c *pandora.Cluster) error {
+	return c.LoadN("acct", w.keys, func(pandora.Key) []byte {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(w.initial))
+		return buf
+	})
+}
+
+func (w *bank) step(tx *pandora.Tx, rng *rand.Rand) (int, error) {
+	a := rng.Intn(w.keys)
+	b := rng.Intn(w.keys - 1)
+	if b >= a {
+		b++
+	}
+	amount := int64(1 + rng.Intn(10))
+	va, err := tx.Read("acct", pandora.Key(a))
+	if err != nil {
+		return 0, err
+	}
+	vb, err := tx.Read("acct", pandora.Key(b))
+	if err != nil {
+		return 0, err
+	}
+	bufA := make([]byte, 8)
+	bufB := make([]byte, 8)
+	binary.LittleEndian.PutUint64(bufA, uint64(int64(binary.LittleEndian.Uint64(va))-amount))
+	binary.LittleEndian.PutUint64(bufB, uint64(int64(binary.LittleEndian.Uint64(vb))+amount))
+	if err := tx.Write("acct", pandora.Key(a), bufA); err != nil {
+		return 0, err
+	}
+	return 0, tx.Write("acct", pandora.Key(b), bufB)
+}
+
+func (w *bank) ack(int)     {}
+func (w *bank) unknown(int) {}
+
+func (w *bank) check(vals []int64) []string {
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if want := int64(w.keys) * w.initial; sum != want {
+		return []string{fmt.Sprintf("bank: total balance %d, want %d — money created or destroyed", sum, want)}
+	}
+	return nil
+}

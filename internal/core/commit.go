@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pandora/internal/kvlayout"
 	"pandora/internal/rdma"
@@ -12,6 +13,86 @@ import (
 // server is down — the memory-failure cases of §3.2.5, handled by
 // continuing against the live replicas.
 func isMemFault(err error) bool { return errors.Is(err, rdma.ErrNodeDown) }
+
+// cleanupMaxAttempts bounds doCleanup's retry loop. In practice the
+// loop ends much earlier: a stalled link either heals or escalates via
+// the suspicion counter into an FD failure, at which point the verbs
+// fail with ErrNodeDown (tolerated).
+const cleanupMaxAttempts = 10000
+
+// doCleanup executes idempotent cleanup verbs (rollback, log
+// truncation, lock release) with capped exponential backoff on link
+// faults. The ops are plain WRITEs of state only this transaction owns,
+// so re-issuing the failed subset is safe; ops that already completed
+// are never re-run (a retry must not smash a lock word another
+// transaction acquired after our successful release). Each suspected
+// node is reported to the FD once. Memory faults are tolerated (dead
+// replicas are recovery's job); ErrCrashed / ErrRevoked propagate
+// immediately; exhausting the budget returns ErrIndeterminate.
+func (tx *Tx) doCleanup(ops []*rdma.Op) error {
+	backoff := 50 * time.Microsecond
+	const maxBackoff = 2 * time.Millisecond
+	reported := make(map[rdma.NodeID]bool)
+	pending := ops
+	for attempt := 0; len(pending) > 0; attempt++ {
+		if attempt >= cleanupMaxAttempts {
+			return &indeterminateError{cause: pending[0].Err}
+		}
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		for _, op := range pending {
+			op.Err = nil
+		}
+		_ = tx.co.ep.Do(pending...)
+		var retry []*rdma.Op
+		for _, op := range pending {
+			switch {
+			case op.Err == nil, isMemFault(op.Err):
+				// done, or dead replica (tolerated)
+			case errors.Is(op.Err, rdma.ErrCrashed):
+				return rdma.ErrCrashed
+			case errors.Is(op.Err, rdma.ErrRevoked):
+				return rdma.ErrRevoked
+			default:
+				le := linkFault(op.Err)
+				if le == nil {
+					return op.Err
+				}
+				if !reported[le.Dst] {
+					reported[le.Dst] = true
+					tx.cn.reportSuspect(le.Dst)
+				}
+				retry = append(retry, op)
+			}
+		}
+		pending = retry
+	}
+	return nil
+}
+
+// postAckFailure handles a failure after the client has been
+// acknowledged: per Cor3 the commit must never be rolled back, so the
+// transaction releases and surfaces the error with AckedCommit intact —
+// callers observing an error must consult CommitAcked for the outcome.
+// Lingering locks and log records are recovery's to clean (idempotent
+// roll-forward, §3.2.3).
+func (tx *Tx) postAckFailure(err error) error {
+	tx.release()
+	if errors.Is(err, rdma.ErrCrashed) {
+		return rdma.ErrCrashed
+	}
+	if errors.Is(err, rdma.ErrRevoked) {
+		return err
+	}
+	if errors.Is(err, ErrIndeterminate) {
+		return err
+	}
+	return &indeterminateError{cause: err}
+}
 
 // Commit runs validation, the logging phase, and the commit path
 // (§3.1.5). On any validation or execution conflict it runs the abort
@@ -130,17 +211,19 @@ func (tx *Tx) Commit() error {
 	// fully unlocked transaction — later writers could then move versions
 	// and fool recovery into rolling this transaction back. A crash after
 	// truncation leaves only lock words, which PILL stealing cleans up
-	// against a fully consistent memory image.
+	// against a fully consistent memory image. The client has already
+	// been acknowledged, so failures here must NOT abort (Cor3): they
+	// route to postAckFailure, leaving cleanup to recovery.
 	if tx.logged {
 		if err := tx.truncateLogs(); err != nil {
-			return tx.verbFailure(err)
+			return tx.postAckFailure(err)
 		}
 	}
 	if tx.cn.crashAt(tx.co.id, PointAfterTruncate) {
 		return tx.crash()
 	}
 	if err := tx.unlockAll(false); err != nil {
-		return err
+		return tx.postAckFailure(err)
 	}
 	if tx.cn.crashAt(tx.co.id, PointAfterUnlock) {
 		return tx.crash()
@@ -198,10 +281,7 @@ func (tx *Tx) validate() (bool, error) {
 		err = tx.co.ep.Do(ops...)
 	}
 	if err != nil {
-		if errors.Is(err, rdma.ErrCrashed) {
-			return false, tx.crash()
-		}
-		return false, tx.abort("validation verb failed: " + err.Error())
+		return false, tx.verbFailure(err)
 	}
 	for i, r := range tx.reads {
 		lock := kvlayout.Uint64(bufs[i][0:])
@@ -267,7 +347,9 @@ func (tx *Tx) applyWrites() error {
 				case isMemFault(err):
 					// dead replica: commit against the live ones
 				default:
-					return tx.abort("apply failed: " + err.Error())
+					// Link faults included: an admitted-then-failed verb had
+					// no memory effect, so aborting here is a clean decision.
+					return tx.verbFailure(err)
 				}
 				if tx.cn.crashAt(tx.co.id, PointAfterApplyOne) {
 					return tx.crash()
@@ -292,7 +374,7 @@ func (tx *Tx) applyWrites() error {
 	if err != nil && errors.Is(err, rdma.ErrCrashed) {
 		return tx.crash()
 	}
-	fatal := ""
+	var fatal error
 	for i, op := range batch {
 		switch {
 		case op.Err == nil:
@@ -300,11 +382,16 @@ func (tx *Tx) applyWrites() error {
 		case isMemFault(op.Err):
 			// dead replica: tolerated
 		default:
-			fatal = op.Err.Error()
+			if fatal == nil {
+				fatal = op.Err
+			}
 		}
 	}
-	if fatal != "" {
-		return tx.abort("apply failed: " + fatal)
+	if fatal != nil {
+		// A link-faulted (timed out / partitioned) WRITE never reached
+		// memory, so the abort decision is clean; the abort path rolls
+		// back the replicas that WERE applied.
+		return tx.verbFailure(fatal)
 	}
 	return nil
 }
@@ -345,42 +432,37 @@ func (tx *Tx) unlockAll(abortPath bool) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	var err error
 	if injected {
-		for _, op := range ops {
+		// Verb-at-a-time so a crash can land between unlocks; each op
+		// still gets the cleanup retry discipline for link faults.
+		for len(ops) > 0 {
 			if tx.cn.crashed.Load() {
-				return tx.crash()
+				return rdma.ErrCrashed
 			}
-			if e := tx.co.ep.DoSeq(op); e != nil && !isMemFault(e) {
-				if errors.Is(e, rdma.ErrCrashed) {
-					return tx.crash()
-				}
-				return e
+			if err := tx.doCleanup(ops[:1]); err != nil {
+				return err
 			}
+			ops = ops[1:]
 			if tx.cn.crashAt(tx.co.id, PointAfterUnlock) {
-				return tx.crash()
+				return rdma.ErrCrashed
 			}
 		}
 		return nil
 	}
-	err = tx.co.ep.Do(ops...)
-	if err != nil {
-		if errors.Is(err, rdma.ErrCrashed) {
-			return tx.crash()
-		}
-		if !isMemFault(err) {
-			return err
-		}
-	}
-	return nil
+	return tx.doCleanup(ops)
 }
 
 // abortInternal is the abort path (§3.1.5 step 3): roll back any
 // applied writes using the locally held undo images, log the decision by
-// truncating, then release the locks and acknowledge the abort.
+// truncating, then release the locks and — only once every cleanup step
+// actually completed — acknowledge the abort. A cleanup failure
+// (own crash, revocation, or exhausted link-fault retries) propagates
+// WITHOUT setting AckedAbort: a fenced zombie must never tell the
+// client "aborted" while recovery may roll the logged transaction
+// forward (Cor3's dual).
 func (tx *Tx) abortInternal(reason string) error {
 	// Roll back replicas the commit write already reached (possible when
-	// an apply was cut short by a memory fault).
+	// an apply was cut short by a memory or link fault).
 	var ops []*rdma.Op
 	for _, w := range tx.writes {
 		if len(w.applied) == 0 {
@@ -405,23 +487,21 @@ func (tx *Tx) abortInternal(reason string) error {
 		w.applied = nil
 	}
 	if len(ops) > 0 {
-		if err := tx.co.ep.Do(ops...); err != nil && errors.Is(err, rdma.ErrCrashed) {
-			return rdma.ErrCrashed
+		if err := tx.doCleanup(ops); err != nil {
+			return err
 		}
 	}
 
 	// Log the decision by truncating (skipped when the Lost Decision bug
 	// is seeded: FORD leaves logs of aborted transactions behind).
 	if tx.logged && !(tx.cn.opts.Protocol == ProtocolFORD && tx.cn.opts.Bugs.LostDecision) {
-		if err := tx.truncateLogs(); err != nil && errors.Is(err, rdma.ErrCrashed) {
-			return rdma.ErrCrashed
+		if err := tx.truncateLogs(); err != nil {
+			return err
 		}
 	}
 
 	if err := tx.unlockAll(true); err != nil {
-		if errors.Is(err, rdma.ErrCrashed) {
-			return rdma.ErrCrashed
-		}
+		return err
 	}
 	tx.AckedAbort = true
 	return &abortError{reason: reason}

@@ -64,6 +64,12 @@ type ComputeNode struct {
 	injMu    sync.Mutex
 	injector CrashInjector
 
+	// suspectFn, when set, receives the id of a memory node whose link
+	// faulted a verb (timeout or partition) — the coordinator's report
+	// to the failure detector's suspicion counter.
+	suspectMu sync.RWMutex
+	suspectFn func(rdma.NodeID)
+
 	hbStop chan struct{}
 	hbWG   sync.WaitGroup
 
@@ -114,7 +120,7 @@ func NewComputeNode(fab *rdma.Fabric, id rdma.NodeID, ring *place.Ring, schema [
 			node:       cn,
 			id:         cid,
 			slot:       slot,
-			ep:         fab.Endpoint(id).WithGate(alive),
+			ep:         fab.Endpoint(id).WithGate(alive).WithTimeout(opts.VerbTimeout),
 			logServers: ring.LogServers(id),
 		})
 	}
@@ -171,6 +177,26 @@ func (cn *ComputeNode) getInjector() CrashInjector {
 	cn.injMu.Lock()
 	defer cn.injMu.Unlock()
 	return cn.injector
+}
+
+// SetSuspectReporter installs the callback coordinators use to report a
+// memory node whose link faulted a verb (nil removes it). The cluster
+// wires this to the failure detector's suspicion counter.
+func (cn *ComputeNode) SetSuspectReporter(fn func(rdma.NodeID)) {
+	cn.suspectMu.Lock()
+	cn.suspectFn = fn
+	cn.suspectMu.Unlock()
+}
+
+// reportSuspect forwards a suspected memory node to the installed
+// reporter, if any.
+func (cn *ComputeNode) reportSuspect(n rdma.NodeID) {
+	cn.suspectMu.RLock()
+	fn := cn.suspectFn
+	cn.suspectMu.RUnlock()
+	if fn != nil {
+		fn(n)
+	}
 }
 
 // Crash fail-stops the compute node: all coordinators stop issuing

@@ -32,6 +32,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pandora/internal/kvlayout"
 )
@@ -120,6 +121,15 @@ type Options struct {
 	// validation-ordering bugs (Covert Locks, Relaxed Locks) — the same
 	// windows real network latency variance opens on hardware.
 	PostValidateDelay func()
+	// VerbTimeout, when positive, bounds how long any coordinator verb
+	// may be held up by a stalled or slow link before failing with
+	// rdma.ErrVerbTimeout. A timed-out verb had no memory effect; the
+	// transaction aborts (or retries its cleanup) and the coordinator
+	// reports the unresponsive memory node to the failure detector
+	// instead of hanging — gray failures degrade to abort-and-retry,
+	// never a wedged coordinator. Zero keeps the pre-deadline behaviour
+	// (verbs wait forever).
+	VerbTimeout time.Duration
 }
 
 // Transaction outcome errors.
@@ -140,6 +150,15 @@ var (
 	// ErrPaused is returned while the compute node is paused for
 	// memory-failure reconfiguration.
 	ErrPaused = errors.New("core: compute node paused for reconfiguration")
+	// ErrIndeterminate is returned when a transaction's cleanup
+	// (rollback, log truncation, lock release) could not complete within
+	// the retry budget because of link faults. The outcome is decided —
+	// check Tx.AckedCommit / Tx.AckedAbort — but memory-side state
+	// (locks, log records) may linger until recovery or lock stealing
+	// cleans it up. Crucially the engine NEVER acknowledges an abort it
+	// could not perform, and never rolls back an acknowledged commit
+	// (Cor3).
+	ErrIndeterminate = errors.New("core: transaction cleanup incomplete")
 )
 
 // abortError carries the abort reason (and optional cause) while
@@ -152,6 +171,18 @@ type abortError struct {
 func (e *abortError) Error() string        { return "core: transaction aborted: " + e.reason }
 func (e *abortError) Is(target error) bool { return target == ErrAborted }
 func (e *abortError) Unwrap() error        { return e.cause }
+
+// indeterminateError matches ErrIndeterminate while preserving the
+// underlying verb failure for errors.Is/As.
+type indeterminateError struct {
+	cause error
+}
+
+func (e *indeterminateError) Error() string {
+	return "core: transaction cleanup incomplete: " + e.cause.Error()
+}
+func (e *indeterminateError) Is(target error) bool { return target == ErrIndeterminate }
+func (e *indeterminateError) Unwrap() error        { return e.cause }
 
 // DebugSteal, when set by tests, observes every successful PILL lock
 // steal: (stealer coordinator, previous owner, key).

@@ -287,13 +287,16 @@ func (tx *Tx) truncateOps() []*rdma.Op {
 	return ops
 }
 
-// truncateLogs invalidates this transaction's log records.
+// truncateLogs invalidates this transaction's log records, retrying
+// link-faulted truncation WRITEs via the cleanup discipline. A log
+// record that cannot be truncated must not be forgotten: the error
+// propagates and tx.logged stays true.
 func (tx *Tx) truncateLogs() error {
 	ops := tx.truncateOps()
 	if len(ops) == 0 {
 		return nil
 	}
-	if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+	if err := tx.doCleanup(ops); err != nil {
 		return err
 	}
 	tx.logged = false

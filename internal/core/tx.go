@@ -268,12 +268,32 @@ func (tx *Tx) stallWait() error {
 	return nil
 }
 
+// linkFault extracts a link-rule failure (partition or verb timeout)
+// from a verb error, or nil.
+func linkFault(err error) *rdma.LinkError {
+	var le *rdma.LinkError
+	if errors.As(err, &le) {
+		return le
+	}
+	return nil
+}
+
 // verbFailure maps a verb error to the transaction outcome: a crash of
-// our own node propagates as ErrCrashed (leaving state strewn); anything
-// else aborts.
+// our own node propagates as ErrCrashed (leaving state strewn); a
+// revocation means this incarnation has been fenced (Cor1) — it is a
+// zombie and must go silent, never acknowledging an abort it cannot
+// perform (recovery owns the state now); a link fault reports the
+// suspect memory node to the FD and aborts; anything else aborts.
 func (tx *Tx) verbFailure(err error) error {
 	if errors.Is(err, rdma.ErrCrashed) {
 		return tx.crash()
+	}
+	if errors.Is(err, rdma.ErrRevoked) {
+		tx.release()
+		return err
+	}
+	if le := linkFault(err); le != nil {
+		tx.cn.reportSuspect(le.Dst)
 	}
 	return tx.abortCause("verb failed: "+err.Error(), err)
 }
@@ -453,8 +473,14 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 		}
 		readOp := &rdma.Op{Kind: rdma.OpRead, Addr: cn.tableAddr(primary, ref, 0), Buf: buf}
 		// One doorbell: the CAS is ordered before the READ on the same
-		// queue pair, so the READ observes the post-CAS slot.
+		// queue pair, so the READ observes the post-CAS slot. The two ops
+		// admit through the link rules independently, so a fault injected
+		// between them can fail the READ after the CAS took the lock —
+		// that lock must be handed to the abort path, not forgotten.
 		if err := tx.co.ep.Do(lockOp, readOp); err != nil {
+			if lockOp.Swapped {
+				return tx.failLocked(ent, primary, all, err)
+			}
 			return tx.verbFailure(err)
 		}
 		if !lockOp.Swapped {
@@ -472,7 +498,7 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 					// We now hold the lock; refresh the slot image under
 					// it before proceeding.
 					if err := tx.co.ep.Read(readOp.Addr, buf); err != nil {
-						return tx.verbFailure(err)
+						return tx.failLocked(ent, primary, all, err)
 					}
 					lockOp.Swapped = true
 				} else {
@@ -508,8 +534,13 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 		if kind != kvlayout.WriteInsert && (!slot.Present || slot.Key != ref.key) {
 			// The key vanished between resolve and lock (deleted, or the
 			// slot was reused for another key). Release, re-resolve, and
-			// retry at the fresh location.
-			tx.unlockAddr(lockOp.Addr)
+			// retry at the fresh location. The slot holds someone else's
+			// state now, so a failed release must only hand over the lock
+			// word, never an insert tombstone.
+			if err := tx.unlockAddr(lockOp.Addr); err != nil {
+				ent.wasInsert = false
+				return tx.failLocked(ent, primary, all, err)
+			}
 			cn.dropRef(ref.table, ref.key)
 			mismatches++
 			if mismatches > 8 {
@@ -535,10 +566,19 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 			case kf == 0 || kf == kvlayout.TombstoneKeyField || kf == kvlayout.ClaimKeyField(ref.key):
 				// claimable
 			case kf == kvlayout.KeyField(ref.key):
-				tx.unlockAddr(lockOp.Addr)
+				// The slot carries a committed key: back out. On a failed
+				// release only the lock word may be touched (wasInsert
+				// would tombstone committed data in the abort path).
+				if err := tx.unlockAddr(lockOp.Addr); err != nil {
+					ent.wasInsert = false
+					return tx.failLocked(ent, primary, all, err)
+				}
 				return ErrExists
 			default:
-				tx.unlockAddr(lockOp.Addr)
+				if err := tx.unlockAddr(lockOp.Addr); err != nil {
+					ent.wasInsert = false
+					return tx.failLocked(ent, primary, all, err)
+				}
 				return errSlotContended
 			}
 		}
@@ -551,7 +591,7 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 			var claim [8]byte
 			kvlayout.PutUint64(claim[:], kvlayout.ClaimKeyField(ref.key))
 			if err := tx.co.ep.Write(cn.tableAddr(primary, ref, kvlayout.SlotKeyOff), claim[:]); err != nil {
-				return tx.verbFailure(err)
+				return tx.failLocked(ent, primary, all, err)
 			}
 		}
 		if cn.crashAt(tx.co.id, PointAfterExecRead) {
@@ -559,6 +599,12 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 		}
 		break
 	}
+
+	// The lock is held: the entry joins the write-set NOW, before any
+	// further verbs, so every later failure path — FORD logging below,
+	// validation, apply, abort — sees and releases it.
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
 
 	if opts.Protocol == ProtocolFORD && !opts.Bugs.LogWithoutLock {
 		skip := kind == kvlayout.WriteInsert && opts.Bugs.MissingInsertLog
@@ -568,13 +614,9 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 			}
 		}
 		if cn.crashAt(tx.co.id, PointAfterFORDLog) {
-			tx.writes = append(tx.writes, ent)
 			return tx.crash()
 		}
 	}
-
-	ent.locked = true
-	tx.writes = append(tx.writes, ent)
 	return nil
 }
 
@@ -615,10 +657,27 @@ func (tx *Tx) readSlotUnlocked(ref objRef) (kvlayout.Slot, error) {
 }
 
 // unlockAddr releases a lock this transaction just took, during
-// execution-phase backout.
-func (tx *Tx) unlockAddr(addr rdma.Addr) {
+// execution-phase backout. The caller must not ignore the error: a
+// link-faulted unlock leaves the lock set, and a lock held by a LIVE
+// coordinator is invisible to both PILL stealing and recovery.
+func (tx *Tx) unlockAddr(addr rdma.Addr) error {
 	var zero [8]byte
-	_ = tx.co.ep.Write(addr, zero[:])
+	return tx.co.ep.Write(addr, zero[:])
+}
+
+// failLocked handles a verb failure at a point where this transaction
+// holds ent's lock but ent has not joined the write-set yet (or an
+// execution-phase unlock itself failed). The entry is registered first
+// so the abort path inside verbFailure releases the lock with the
+// cleanup retry discipline — otherwise the lock would leak while its
+// owner stays alive, permanently blocking the object.
+func (tx *Tx) failLocked(ent *writeEnt, primary rdma.NodeID, all []rdma.NodeID, err error) error {
+	if len(ent.replicas) == 0 {
+		ent.replicas = orderReplicas(primary, all)
+	}
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
+	return tx.verbFailure(err)
 }
 
 // orderReplicas returns all replicas with primary first.

@@ -68,6 +68,13 @@ type Config struct {
 	// OnRecycle runs (once per crossing) when the threshold is reached;
 	// the cluster wires this to the stray-lock scan of §3.1.2.
 	OnRecycle func()
+	// SuspectThreshold is the number of suspicion reports (Suspect calls
+	// from coordinators whose verbs timed out toward a node) at which
+	// the FD escalates and declares the node failed — gray failures that
+	// never miss a heartbeat still get fenced. 0 uses the default (4);
+	// a negative value disables escalation (suspicions are still
+	// counted and visible via Suspicions).
+	SuspectThreshold int
 }
 
 func (c *Config) fillDefaults() {
@@ -85,6 +92,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RecycleThreshold == 0 {
 		c.RecycleThreshold = 0.95
+	}
+	if c.SuspectThreshold == 0 {
+		c.SuspectThreshold = 4
 	}
 }
 
@@ -106,6 +116,8 @@ type Detector struct {
 	failed      *Bitset
 	subs        []func(Event)
 	recycled    bool
+	suspicions  map[rdma.NodeID]int
+	escalating  map[rdma.NodeID]bool
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -125,6 +137,8 @@ func New(cfg Config) *Detector {
 		nodes:       make(map[rdma.NodeID]*nodeInfo),
 		replicaDown: make([]bool, cfg.Replicas),
 		failed:      NewBitset(),
+		suspicions:  make(map[rdma.NodeID]int),
+		escalating:  make(map[rdma.NodeID]bool),
 		stopCh:      make(chan struct{}),
 	}
 	d.restore()
@@ -196,9 +210,17 @@ func (d *Detector) RegisterCompute(node rdma.NodeID, n int) ([]kvlayout.CoordID,
 func (d *Detector) RegisterMemory(node rdma.NodeID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.nodes[node] == nil {
-		d.nodes[node] = &nodeInfo{kind: Memory, lastHB: d.freshHB()}
+	if info := d.nodes[node]; info != nil {
+		// Re-registration re-arms monitoring for a restarted or
+		// re-replicated server: failed state and accumulated suspicions
+		// are cleared and the heartbeat clock restarts fresh.
+		info.failed = false
+		info.lastHB = d.freshHB()
+		delete(d.suspicions, node)
+		delete(d.escalating, node)
+		return
 	}
+	d.nodes[node] = &nodeInfo{kind: Memory, lastHB: d.freshHB()}
 }
 
 func (d *Detector) freshHB() []time.Time {
@@ -310,6 +332,53 @@ func (d *Detector) sweep() {
 			fn(ev)
 		}
 	}
+}
+
+// Suspect records one suspicion report against node — a coordinator's
+// verb toward it timed out or found the link partitioned. At
+// SuspectThreshold reports the FD escalates and declares the node
+// failed, asynchronously: the report typically arrives from a
+// transaction goroutine, and memory-failure recovery stops the world,
+// which must not wait on the very transaction that reported. It
+// returns true once escalation has been triggered (by this or an
+// earlier report).
+func (d *Detector) Suspect(node rdma.NodeID) bool {
+	d.mu.Lock()
+	info := d.nodes[node]
+	if info == nil || info.failed {
+		d.mu.Unlock()
+		return info != nil
+	}
+	if d.escalating[node] {
+		d.mu.Unlock()
+		return true
+	}
+	d.suspicions[node]++
+	if d.cfg.SuspectThreshold < 0 || d.suspicions[node] < d.cfg.SuspectThreshold {
+		d.mu.Unlock()
+		return false
+	}
+	d.escalating[node] = true
+	d.mu.Unlock()
+	go d.MarkFailed(node)
+	return true
+}
+
+// Suspicions returns the current suspicion count for node.
+func (d *Detector) Suspicions(node rdma.NodeID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspicions[node]
+}
+
+// ClearSuspicions resets node's suspicion state — called when the node
+// is healed/recovered (link repaired, re-replicated, restarted) so old
+// reports cannot combine with a future unrelated glitch.
+func (d *Detector) ClearSuspicions(node rdma.NodeID) {
+	d.mu.Lock()
+	delete(d.suspicions, node)
+	delete(d.escalating, node)
+	d.mu.Unlock()
 }
 
 // MarkFailed declares node failed immediately, bypassing heartbeat

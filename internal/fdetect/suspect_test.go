@@ -1,0 +1,141 @@
+package fdetect
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSuspectEscalatesAtThreshold: suspicion reports accumulate and the
+// node is declared failed (asynchronously) at the threshold.
+func TestSuspectEscalatesAtThreshold(t *testing.T) {
+	d := New(Config{SuspectThreshold: 3})
+	defer d.Stop()
+	d.RegisterMemory(50)
+
+	var mu sync.Mutex
+	var events []Event
+	done := make(chan struct{})
+	d.Subscribe(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+		close(done)
+	})
+
+	if d.Suspect(50) || d.Suspect(50) {
+		t.Fatal("escalated before the threshold")
+	}
+	if got := d.Suspicions(50); got != 2 {
+		t.Fatalf("Suspicions = %d, want 2", got)
+	}
+	if !d.Suspect(50) {
+		t.Fatal("third report did not escalate")
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("escalation never delivered a failure event")
+	}
+	if !d.IsFailed(50) {
+		t.Fatal("node not failed after escalation")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 || events[0].Kind != Memory || events[0].Node != 50 {
+		t.Fatalf("events = %+v, want one Memory failure of node 50", events)
+	}
+}
+
+// TestSuspectDisabledStillCounts: a negative threshold disables
+// escalation but keeps the counters observable.
+func TestSuspectDisabledStillCounts(t *testing.T) {
+	d := New(Config{SuspectThreshold: -1})
+	defer d.Stop()
+	d.RegisterMemory(50)
+	for i := 0; i < 20; i++ {
+		if d.Suspect(50) {
+			t.Fatal("disabled escalation fired")
+		}
+	}
+	if got := d.Suspicions(50); got != 20 {
+		t.Fatalf("Suspicions = %d, want 20", got)
+	}
+	if d.IsFailed(50) {
+		t.Fatal("node failed with escalation disabled")
+	}
+}
+
+// TestClearSuspicionsResets: a heal wipes accumulated reports, so an old
+// glitch cannot combine with a future one.
+func TestClearSuspicionsResets(t *testing.T) {
+	d := New(Config{SuspectThreshold: 4})
+	defer d.Stop()
+	d.RegisterMemory(50)
+	d.Suspect(50)
+	d.Suspect(50)
+	d.Suspect(50)
+	d.ClearSuspicions(50)
+	if got := d.Suspicions(50); got != 0 {
+		t.Fatalf("Suspicions after clear = %d, want 0", got)
+	}
+	if d.Suspect(50) {
+		t.Fatal("single post-heal report escalated")
+	}
+}
+
+// TestSuspectUnknownNode: reports against unregistered nodes are
+// ignored, not counted.
+func TestSuspectUnknownNode(t *testing.T) {
+	d := New(Config{})
+	defer d.Stop()
+	if d.Suspect(99) {
+		t.Fatal("unknown node escalated")
+	}
+	if d.IsFailed(99) {
+		t.Fatal("unknown node failed")
+	}
+}
+
+// TestRegisterMemoryRearms: re-registering a restarted/re-replicated
+// memory server clears its failed state and suspicion history so it can
+// be monitored — and failed — again.
+func TestRegisterMemoryRearms(t *testing.T) {
+	d := New(Config{SuspectThreshold: 2})
+	defer d.Stop()
+	d.RegisterMemory(50)
+	if _, ok := d.MarkFailed(50); !ok {
+		t.Fatal("MarkFailed refused")
+	}
+	if !d.IsFailed(50) {
+		t.Fatal("node not failed")
+	}
+	d.RegisterMemory(50)
+	if d.IsFailed(50) {
+		t.Fatal("re-registration did not clear failed state")
+	}
+	if got := d.Suspicions(50); got != 0 {
+		t.Fatalf("Suspicions after re-registration = %d, want 0", got)
+	}
+	// The re-armed node escalates again at the threshold.
+	d.Suspect(50)
+	if !d.Suspect(50) {
+		t.Fatal("re-armed node did not escalate")
+	}
+}
+
+// TestSuspectAfterEscalationIsIdempotent: reports racing the async
+// MarkFailed keep returning true without inflating state.
+func TestSuspectAfterEscalationIsIdempotent(t *testing.T) {
+	d := New(Config{SuspectThreshold: 1})
+	defer d.Stop()
+	d.RegisterMemory(50)
+	if !d.Suspect(50) {
+		t.Fatal("first report at threshold 1 did not escalate")
+	}
+	for i := 0; i < 5; i++ {
+		if !d.Suspect(50) {
+			t.Fatal("post-escalation report returned false")
+		}
+	}
+}

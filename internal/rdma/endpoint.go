@@ -19,6 +19,11 @@ type Endpoint struct {
 	// verbs: the old endpoints stay dead even after the node id comes
 	// back up.
 	gate func() bool
+	// timeout, when positive, bounds how long a verb may be held by a
+	// stalled or slow link before failing with ErrVerbTimeout (wrapped
+	// in a LinkError). Zero means wait forever — the pre-deadline
+	// behaviour.
+	timeout time.Duration
 }
 
 // Endpoint returns a verb-issuing handle for the given local node.
@@ -45,6 +50,19 @@ func (ep *Endpoint) WithGate(alive func() bool) *Endpoint {
 	return &cp
 }
 
+// WithTimeout returns a copy of the endpoint whose verbs fail with
+// ErrVerbTimeout (wrapped in a LinkError) instead of hanging when a
+// stalled or slow link would delay them past d. Zero disables the
+// deadline.
+func (ep *Endpoint) WithTimeout(d time.Duration) *Endpoint {
+	cp := *ep
+	cp.timeout = d
+	return &cp
+}
+
+// Timeout returns the endpoint's verb deadline (zero = none).
+func (ep *Endpoint) Timeout() time.Duration { return ep.timeout }
+
 // gateCheck enforces the incarnation gate.
 func (ep *Endpoint) gateCheck() error {
 	if ep.gate != nil && !ep.gate() {
@@ -62,18 +80,22 @@ func (ep *Endpoint) Node() NodeID { return ep.node }
 // Fabric returns the fabric the endpoint is attached to.
 func (ep *Endpoint) Fabric() *Fabric { return ep.fab }
 
-func (ep *Endpoint) charge(n int) {
-	d := ep.fab.lat.Verb(n)
-	if retries := ep.fab.transportFaults(n); retries > 0 {
-		// Each retransmission costs roughly one more round trip (the RC
-		// retransmission timeout is of the same order at these scales).
-		d += time.Duration(retries) * ep.fab.lat.Verb(n)
-	}
-	ep.clock.Advance(d)
+func (ep *Endpoint) charge(n int, extra time.Duration) {
+	ep.clock.Advance(ep.fab.lat.Verb(n) + ep.fab.transportFaults(n) + extra)
+}
+
+// admit gates the verb through the link rules BEFORE the verb barrier,
+// so a verb parked on a stalled link never blocks fabric transitions.
+func (ep *Endpoint) admit(dst NodeID, n int) (time.Duration, error) {
+	return ep.fab.admit(ep.node, dst, ep.timeout, n)
 }
 
 // Read issues a one-sided READ of len(dst) bytes at addr.
 func (ep *Endpoint) Read(addr Addr, dst []byte) error {
+	extra, err := ep.admit(addr.Node, len(dst))
+	if err != nil {
+		return err
+	}
 	ep.fab.verbs.RLock()
 	defer ep.fab.verbs.RUnlock()
 	if err := ep.gateCheck(); err != nil {
@@ -86,12 +108,16 @@ func (ep *Endpoint) Read(addr Addr, dst []byte) error {
 	if err := r.read(addr.Offset, dst); err != nil {
 		return err
 	}
-	ep.charge(len(dst))
+	ep.charge(len(dst), extra)
 	return nil
 }
 
 // Write issues a one-sided WRITE of src at addr.
 func (ep *Endpoint) Write(addr Addr, src []byte) error {
+	extra, err := ep.admit(addr.Node, len(src))
+	if err != nil {
+		return err
+	}
 	ep.fab.verbs.RLock()
 	defer ep.fab.verbs.RUnlock()
 	if err := ep.gateCheck(); err != nil {
@@ -104,13 +130,17 @@ func (ep *Endpoint) Write(addr Addr, src []byte) error {
 	if err := r.write(addr.Offset, src); err != nil {
 		return err
 	}
-	ep.charge(len(src))
+	ep.charge(len(src), extra)
 	return nil
 }
 
 // CAS issues a one-sided 8-byte compare-and-swap at addr. It returns the
 // previous value and whether the swap was applied.
 func (ep *Endpoint) CAS(addr Addr, expect, swap uint64) (old uint64, swapped bool, err error) {
+	extra, err := ep.admit(addr.Node, 8)
+	if err != nil {
+		return 0, false, err
+	}
 	ep.fab.verbs.RLock()
 	defer ep.fab.verbs.RUnlock()
 	if err := ep.gateCheck(); err != nil {
@@ -124,13 +154,17 @@ func (ep *Endpoint) CAS(addr Addr, expect, swap uint64) (old uint64, swapped boo
 	if err != nil {
 		return 0, false, err
 	}
-	ep.charge(8)
+	ep.charge(8, extra)
 	return old, old == expect, nil
 }
 
 // FAA issues a one-sided 8-byte fetch-and-add at addr and returns the
 // previous value.
 func (ep *Endpoint) FAA(addr Addr, delta uint64) (uint64, error) {
+	extra, err := ep.admit(addr.Node, 8)
+	if err != nil {
+		return 0, err
+	}
 	ep.fab.verbs.RLock()
 	defer ep.fab.verbs.RUnlock()
 	if err := ep.gateCheck(); err != nil {
@@ -144,7 +178,7 @@ func (ep *Endpoint) FAA(addr Addr, delta uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ep.charge(8)
+	ep.charge(8, extra)
 	return old, nil
 }
 
@@ -176,37 +210,48 @@ type Op struct {
 	Err          error  // per-op completion status
 }
 
+// size returns the op's payload byte count for latency purposes.
+func (op *Op) size() int {
+	switch op.Kind {
+	case OpRead, OpWrite:
+		return len(op.Buf)
+	default:
+		return 8
+	}
+}
+
 func (ep *Endpoint) exec(op *Op) time.Duration {
+	n := op.size()
+	extra, err := ep.admit(op.Addr.Node, n)
+	if err != nil {
+		op.Err = err
+		return 0
+	}
 	ep.fab.verbs.RLock()
 	defer ep.fab.verbs.RUnlock()
 	if err := ep.gateCheck(); err != nil {
 		op.Err = err
 		return 0
 	}
-	lat := ep.fab.lat
 	verb := func(n int) time.Duration {
-		d := lat.Verb(n)
-		if retries := ep.fab.transportFaults(n); retries > 0 {
-			d += time.Duration(retries) * lat.Verb(n)
-		}
-		return d
+		return ep.fab.lat.Verb(n) + ep.fab.transportFaults(n) + extra
 	}
 	switch op.Kind {
 	case OpRead:
 		op.Err = ep.rawRead(op.Addr, op.Buf)
-		return verb(len(op.Buf))
+		return verb(n)
 	case OpWrite:
 		op.Err = ep.rawWrite(op.Addr, op.Buf)
-		return verb(len(op.Buf))
+		return verb(n)
 	case OpCAS:
 		op.Old, op.Swapped, op.Err = ep.rawCAS(op.Addr, op.Expect, op.Swap)
-		return verb(8)
+		return verb(n)
 	case OpFAA:
 		op.Old, op.Err = ep.rawFAA(op.Addr, op.Delta)
-		return verb(8)
+		return verb(n)
 	case OpFlush:
 		op.Err = ep.rawFlush(op.Addr, int(op.Delta))
-		return verb(8)
+		return verb(n)
 	default:
 		op.Err = ErrNoRegion
 		return 0

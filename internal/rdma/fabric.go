@@ -28,6 +28,10 @@ type Fabric struct {
 	// by the RC transport (see FaultModel).
 	faults *faultState
 
+	// links holds per-(src,dst) fault rules: partitions, stalls and
+	// slowdowns that the RC transport cannot mask (see links.go).
+	links linkTable
+
 	// persist models NVM on memory nodes (see persist.go).
 	persist bool
 }
@@ -45,7 +49,9 @@ type nodeState struct {
 // NewFabric creates a fabric with the given latency model. A zero-value
 // LatencyModel charges no time.
 func NewFabric(lat LatencyModel) *Fabric {
-	return &Fabric{nodes: make(map[NodeID]*nodeState), lat: lat}
+	f := &Fabric{nodes: make(map[NodeID]*nodeState), lat: lat}
+	f.links.init()
+	return f
 }
 
 // Latency returns the fabric's latency model.
@@ -153,6 +159,9 @@ func (f *Fabric) SetDown(node NodeID, down bool) {
 	ns.down = down
 	ns.mu.Unlock()
 	f.verbs.Unlock()
+	// Verbs parked on a stalled link to this node must observe the
+	// transition (a dead target unblocks them with ErrNodeDown).
+	f.links.broadcast()
 }
 
 // IsDown reports whether the node is marked failed.
@@ -178,6 +187,9 @@ func (f *Fabric) SetCrashed(node NodeID, crashed bool) {
 	ns.crashed = crashed
 	ns.mu.Unlock()
 	f.verbs.Unlock()
+	// A crashed issuer's verbs parked on stalled links die with
+	// ErrCrashed rather than outliving the process.
+	f.links.broadcast()
 }
 
 // IsCrashed reports whether the node's local process is crashed.

@@ -3,6 +3,7 @@ package rdma
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // FaultModel injects transport-level faults of the paper's failure model
@@ -107,10 +108,12 @@ func (f *Fabric) DuplicatesDropped() int64 {
 	return fs.duplicates.Load()
 }
 
-// transportFaults charges the latency cost of injected faults for one
-// verb of n payload bytes and accounts them. Returns the extra modelled
-// duration.
-func (f *Fabric) transportFaults(n int) int {
+// transportFaults rolls the injected faults for one verb of n payload
+// bytes, accounts them, and returns the extra modelled duration: each
+// retransmission resends the payload, so its cost is one more full verb
+// of the same size under the latency model (the RC retransmission
+// timeout is of the same order at these scales).
+func (f *Fabric) transportFaults(n int) time.Duration {
 	f.mu.RLock()
 	fs := f.faults
 	f.mu.RUnlock()
@@ -124,5 +127,8 @@ func (f *Fabric) transportFaults(n int) int {
 	if dup {
 		fs.duplicates.Add(1)
 	}
-	return retries
+	if retries == 0 {
+		return 0
+	}
+	return time.Duration(retries) * f.lat.Verb(n)
 }

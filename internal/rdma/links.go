@@ -1,0 +1,240 @@
+package rdma
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Link-level fault rules model the failures the RC transport can NOT
+// mask: gray failures and partitions of a single (src, dst) direction.
+// Unlike FaultModel's probabilistic loss/duplication (absorbed by
+// retransmission), a link rule changes what the verb issuer observes:
+//
+//   - a partitioned link breaks the connection — verbs fail immediately
+//     with ErrLinkPartitioned (the QP's retry-exceeded error);
+//   - a stalled link hangs verbs until the link heals or the endpoint's
+//     deadline (WithTimeout) expires with ErrVerbTimeout;
+//   - a slow link multiplies the verb's modelled latency and/or adds a
+//     fixed delay; if the modelled duration exceeds the endpoint's
+//     deadline the verb times out instead of completing.
+//
+// Rules are directional: PartitionLink(a, b) leaves b→a untouched,
+// which is how asymmetric partitions are expressed.
+
+// linkKey identifies one direction of a link.
+type linkKey struct {
+	src, dst NodeID
+}
+
+// linkFault is the kind of fault installed on a link.
+type linkFault int
+
+const (
+	linkPartitioned linkFault = iota
+	linkStalled
+	linkSlow
+)
+
+// linkRule is one installed fault.
+type linkRule struct {
+	fault  linkFault
+	factor float64       // slow: latency multiplier (>= 1)
+	delay  time.Duration // slow: fixed added delay per verb
+}
+
+// linkTable holds the fabric's per-link fault rules.
+type linkTable struct {
+	mu     sync.Mutex
+	rules  map[linkKey]linkRule
+	wake   chan struct{} // closed and replaced on every heal/transition
+	active atomic.Int32  // len(rules); checked lock-free on the verb path
+
+	partitionDrops atomic.Int64
+	stalledVerbs   atomic.Int64
+	slowedVerbs    atomic.Int64
+	timeouts       atomic.Int64
+	heals          atomic.Int64
+}
+
+func (lt *linkTable) init() {
+	lt.rules = make(map[linkKey]linkRule)
+	lt.wake = make(chan struct{})
+}
+
+// set installs a rule.
+func (lt *linkTable) set(k linkKey, r linkRule) {
+	lt.mu.Lock()
+	lt.rules[k] = r
+	lt.active.Store(int32(len(lt.rules)))
+	lt.mu.Unlock()
+}
+
+// broadcast wakes every verb waiting on a stalled link so it re-checks
+// the link and node state. Called on heal and on node state transitions
+// (down, crash) that must unblock stalled verbs.
+func (lt *linkTable) broadcast() {
+	lt.mu.Lock()
+	close(lt.wake)
+	lt.wake = make(chan struct{})
+	lt.mu.Unlock()
+}
+
+// LinkStats are the cumulative per-fabric link fault counters.
+type LinkStats struct {
+	// PartitionDrops counts verbs rejected by a partitioned link.
+	PartitionDrops int64
+	// StalledVerbs counts verbs that blocked on a stalled link.
+	StalledVerbs int64
+	// SlowedVerbs counts verbs delayed by a slow link.
+	SlowedVerbs int64
+	// Timeouts counts verbs that exceeded their deadline on a stalled or
+	// slow link.
+	Timeouts int64
+	// Heals counts HealLink/HealAllLinks rule removals.
+	Heals int64
+}
+
+// PartitionLink drops all verbs from src to dst (directional) until the
+// link is healed. Verbs fail fast with ErrLinkPartitioned, modelling the
+// QP breaking after its transport retry budget.
+func (f *Fabric) PartitionLink(src, dst NodeID) {
+	f.links.set(linkKey{src, dst}, linkRule{fault: linkPartitioned})
+}
+
+// StallLink makes verbs from src to dst hang (directional): a gray
+// failure where the link neither delivers nor errors. Verbs block until
+// HealLink, the target going down, the issuer crashing, or — on
+// endpoints with WithTimeout — the deadline, which fails the verb with
+// ErrVerbTimeout.
+func (f *Fabric) StallLink(src, dst NodeID) {
+	f.links.set(linkKey{src, dst}, linkRule{fault: linkStalled})
+	// Replace any previous rule's waiters with the new regime.
+	f.links.broadcast()
+}
+
+// SlowLink degrades verbs from src to dst: each verb's modelled latency
+// is multiplied by factor (values < 1 are treated as 1) and delay is
+// added on top. An endpoint deadline shorter than the degraded latency
+// fails the verb with ErrVerbTimeout.
+func (f *Fabric) SlowLink(src, dst NodeID, factor float64, delay time.Duration) {
+	if factor < 1 {
+		factor = 1
+	}
+	f.links.set(linkKey{src, dst}, linkRule{fault: linkSlow, factor: factor, delay: delay})
+	f.links.broadcast()
+}
+
+// HealLink removes any fault rule on src→dst and wakes stalled verbs.
+func (f *Fabric) HealLink(src, dst NodeID) {
+	lt := &f.links
+	lt.mu.Lock()
+	if _, ok := lt.rules[linkKey{src, dst}]; ok {
+		delete(lt.rules, linkKey{src, dst})
+		lt.active.Store(int32(len(lt.rules)))
+		lt.heals.Add(1)
+	}
+	lt.mu.Unlock()
+	lt.broadcast()
+}
+
+// HealAllLinks removes every link fault rule and wakes stalled verbs.
+func (f *Fabric) HealAllLinks() {
+	lt := &f.links
+	lt.mu.Lock()
+	if n := len(lt.rules); n > 0 {
+		lt.rules = make(map[linkKey]linkRule)
+		lt.active.Store(0)
+		lt.heals.Add(int64(n))
+	}
+	lt.mu.Unlock()
+	lt.broadcast()
+}
+
+// LinkStats returns the cumulative link fault counters.
+func (f *Fabric) LinkStats() LinkStats {
+	lt := &f.links
+	return LinkStats{
+		PartitionDrops: lt.partitionDrops.Load(),
+		StalledVerbs:   lt.stalledVerbs.Load(),
+		SlowedVerbs:    lt.slowedVerbs.Load(),
+		Timeouts:       lt.timeouts.Load(),
+		Heals:          lt.heals.Load(),
+	}
+}
+
+// admit gates one verb of n payload bytes on the src→dst link rules. It
+// runs BEFORE the verb barrier is acquired, so a stalled verb never
+// blocks fabric state transitions (crash, down, revocation) — exactly
+// like a packet parked in the network, which holds no NIC resources.
+// It returns the extra modelled latency the rule imposes, or the fault
+// error.
+func (f *Fabric) admit(src, dst NodeID, timeout time.Duration, n int) (time.Duration, error) {
+	lt := &f.links
+	if lt.active.Load() == 0 {
+		return 0, nil
+	}
+	k := linkKey{src, dst}
+	lt.mu.Lock()
+	rule, ok := lt.rules[k]
+	lt.mu.Unlock()
+	if !ok {
+		return 0, nil
+	}
+	switch rule.fault {
+	case linkPartitioned:
+		lt.partitionDrops.Add(1)
+		return 0, &LinkError{Src: src, Dst: dst, Err: ErrLinkPartitioned}
+	case linkSlow:
+		extra := rule.delay
+		if rule.factor > 1 {
+			extra += time.Duration(float64(f.lat.Verb(n)) * (rule.factor - 1))
+		}
+		if timeout > 0 && f.lat.Verb(n)+extra > timeout {
+			lt.timeouts.Add(1)
+			return 0, &LinkError{Src: src, Dst: dst, Err: ErrVerbTimeout}
+		}
+		lt.slowedVerbs.Add(1)
+		return extra, nil
+	default: // linkStalled
+		lt.stalledVerbs.Add(1)
+		return 0, f.stallWait(k, timeout)
+	}
+}
+
+// stallWait parks a verb on a stalled link until the link heals, the
+// target dies, the issuer crashes, or the deadline expires.
+func (f *Fabric) stallWait(k linkKey, timeout time.Duration) error {
+	lt := &f.links
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		// Node-state exits first: a fenced/dead target must unblock the
+		// waiter even while the link rule is still installed, or cleanup
+		// paths could never converge on ErrNodeDown.
+		if f.IsDown(k.dst) {
+			return ErrNodeDown
+		}
+		if f.IsCrashed(k.src) {
+			return ErrCrashed
+		}
+		lt.mu.Lock()
+		rule, ok := lt.rules[k]
+		wake := lt.wake
+		lt.mu.Unlock()
+		if !ok || rule.fault != linkStalled {
+			return nil // healed (or replaced) while we slept
+		}
+		select {
+		case <-wake:
+			// state changed somewhere; re-evaluate
+		case <-deadline:
+			lt.timeouts.Add(1)
+			return &LinkError{Src: k.src, Dst: k.dst, Err: ErrVerbTimeout}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newLinkFabric(t *testing.T, lat LatencyModel) *Fabric {
+	t.Helper()
+	f := NewFabric(lat)
+	f.AddNode(0) // compute
+	f.AddNode(1) // memory
+	f.RegisterRegion(1, 0, 256)
+	return f
+}
+
+func TestPartitionLinkFailsFastAndHeals(t *testing.T) {
+	f := newLinkFabric(t, LatencyModel{})
+	ep := f.Endpoint(0)
+	addr := Addr{Node: 1, Region: 0, Offset: 0}
+
+	f.PartitionLink(0, 1)
+	err := ep.Write(addr, []byte("x"))
+	if !errors.Is(err, ErrLinkPartitioned) {
+		t.Fatalf("write over partition: err=%v, want ErrLinkPartitioned", err)
+	}
+	var le *LinkError
+	if !errors.As(err, &le) || le.Src != 0 || le.Dst != 1 {
+		t.Fatalf("link error endpoints = %+v, want src=0 dst=1", le)
+	}
+	if err := ep.Read(addr, make([]byte, 1)); !errors.Is(err, ErrLinkPartitioned) {
+		t.Fatalf("read over partition: err=%v", err)
+	}
+
+	f.HealLink(0, 1)
+	if err := ep.Write(addr, []byte("x")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+
+	st := f.LinkStats()
+	if st.PartitionDrops < 2 {
+		t.Errorf("PartitionDrops = %d, want >= 2", st.PartitionDrops)
+	}
+	if st.Heals != 1 {
+		t.Errorf("Heals = %d, want 1", st.Heals)
+	}
+}
+
+func TestPartitionLinkIsDirectional(t *testing.T) {
+	f := newLinkFabric(t, LatencyModel{})
+	f.RegisterRegion(0, 0, 64)
+
+	// Faulting 1→0 must leave 0→1 untouched.
+	f.PartitionLink(1, 0)
+	if err := f.Endpoint(0).Write(Addr{Node: 1, Region: 0}, []byte("ok")); err != nil {
+		t.Fatalf("forward direction broken by reverse partition: %v", err)
+	}
+	if err := f.Endpoint(1).Write(Addr{Node: 0, Region: 0}, []byte("no")); !errors.Is(err, ErrLinkPartitioned) {
+		t.Fatalf("reverse direction err=%v, want ErrLinkPartitioned", err)
+	}
+}
+
+func TestStallLinkParksUntilHeal(t *testing.T) {
+	f := newLinkFabric(t, LatencyModel{})
+	ep := f.Endpoint(0) // no deadline: waits for the heal
+	addr := Addr{Node: 1, Region: 0, Offset: 8}
+
+	f.StallLink(0, 1)
+	done := make(chan error, 1)
+	go func() {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], 77)
+		done <- ep.Write(addr, b[:])
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled write completed early: %v", err)
+	case <-time.After(5 * time.Millisecond):
+	}
+
+	f.HealLink(0, 1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled write never woke after heal")
+	}
+	// The healed verb executed: the payload landed.
+	var b [8]byte
+	if err := ep.Read(addr, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(b[:]) != 77 {
+		t.Fatalf("healed write lost: %v", b)
+	}
+}
+
+func TestStallLinkDeadlineNeverExecutes(t *testing.T) {
+	f := newLinkFabric(t, LatencyModel{})
+	ep := f.Endpoint(0).WithTimeout(2 * time.Millisecond)
+	addr := Addr{Node: 1, Region: 0, Offset: 16}
+
+	f.StallLink(0, 1)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], 99)
+	err := ep.Write(addr, b[:])
+	if !errors.Is(err, ErrVerbTimeout) {
+		t.Fatalf("stalled write err=%v, want ErrVerbTimeout", err)
+	}
+	f.HealAllLinks()
+	// A timed-out verb must have had NO memory effect — it died parked in
+	// the network, it did not land late.
+	var got [8]byte
+	if err := f.Endpoint(0).Read(addr, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(got[:]) != 0 {
+		t.Fatalf("timed-out write executed anyway: %v", got)
+	}
+	st := f.LinkStats()
+	if st.Timeouts < 1 || st.StalledVerbs < 1 {
+		t.Errorf("stats = %+v, want Timeouts>=1 StalledVerbs>=1", st)
+	}
+}
+
+func TestStallLinkUnblocksOnNodeTransitions(t *testing.T) {
+	// Dead target: the parked verb converges on ErrNodeDown so cleanup
+	// paths can treat the replica as failed instead of hanging forever.
+	f := newLinkFabric(t, LatencyModel{})
+	f.StallLink(0, 1)
+	done := make(chan error, 1)
+	go func() { done <- f.Endpoint(0).Write(Addr{Node: 1, Region: 0}, []byte("x")) }()
+	time.Sleep(time.Millisecond)
+	f.SetDown(1, true)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("parked verb on dead target: err=%v, want ErrNodeDown", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("parked verb not unblocked by target death")
+	}
+
+	// Crashed issuer: its parked verbs die with it.
+	f2 := newLinkFabric(t, LatencyModel{})
+	f2.StallLink(0, 1)
+	done2 := make(chan error, 1)
+	go func() { done2 <- f2.Endpoint(0).Write(Addr{Node: 1, Region: 0}, []byte("x")) }()
+	time.Sleep(time.Millisecond)
+	f2.SetCrashed(0, true)
+	select {
+	case err := <-done2:
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("parked verb of crashed issuer: err=%v, want ErrCrashed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("parked verb not unblocked by issuer crash")
+	}
+}
+
+func TestSlowLinkChargesAndTimesOut(t *testing.T) {
+	lat := LatencyModel{BaseRTT: 10 * time.Microsecond}
+	f := newLinkFabric(t, lat)
+	var clk VClock
+	ep := f.Endpoint(0).WithClock(&clk)
+	addr := Addr{Node: 1, Region: 0, Offset: 0}
+
+	// Baseline verb cost.
+	if err := ep.Write(addr, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	base := clk.Now()
+
+	// ×4 slowdown plus 50µs fixed delay: the verb completes (no
+	// deadline) and the clock is charged the degraded latency.
+	f.SlowLink(0, 1, 4, 50*time.Microsecond)
+	clk.Reset()
+	if err := ep.Write(addr, []byte("x")); err != nil {
+		t.Fatalf("slow write: %v", err)
+	}
+	want := 4*base + 50*time.Microsecond
+	if got := clk.Now(); got != want {
+		t.Errorf("slow verb charged %v, want %v (baseline %v)", got, want, base)
+	}
+
+	// A deadline below the degraded latency fails the verb instead, with
+	// no memory effect.
+	epT := ep.WithTimeout(20 * time.Microsecond)
+	if err := epT.Write(addr, []byte("x")); !errors.Is(err, ErrVerbTimeout) {
+		t.Fatalf("slow write under deadline: err=%v, want ErrVerbTimeout", err)
+	}
+
+	st := f.LinkStats()
+	if st.SlowedVerbs < 1 || st.Timeouts < 1 {
+		t.Errorf("stats = %+v, want SlowedVerbs>=1 Timeouts>=1", st)
+	}
+}
+
+func TestFaultModelDeterministicAndPayloadProportional(t *testing.T) {
+	run := func(seed uint64) (int64, time.Duration) {
+		f := newLinkFabric(t, LatencyModel{BaseRTT: time.Microsecond, BytesPerSec: 1e9})
+		f.SetFaults(FaultModel{LossProb: 0.5, DupProb: 0.2, Seed: seed})
+		var clk VClock
+		ep := f.Endpoint(0).WithClock(&clk)
+		buf := make([]byte, 64)
+		for i := 0; i < 200; i++ {
+			if err := ep.Write(Addr{Node: 1, Region: 0}, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Retransmits(), clk.Now()
+	}
+	r1, t1 := run(7)
+	r2, t2 := run(7)
+	if r1 != r2 || t1 != t2 {
+		t.Fatalf("same seed diverged: retransmits %d vs %d, vtime %v vs %v", r1, r2, t1, t2)
+	}
+	if r1 == 0 {
+		t.Fatal("LossProb=0.5 produced zero retransmits")
+	}
+	r3, _ := run(8)
+	if r1 == r3 {
+		t.Fatalf("seeds 7 and 8 produced identical retransmit counts (%d)", r1)
+	}
+
+	// Each retransmission resends the payload: a big verb's retry costs
+	// proportionally more virtual time than a small verb's.
+	cost := func(n int) time.Duration {
+		f := newLinkFabric(t, LatencyModel{BaseRTT: time.Microsecond, BytesPerSec: 1e6})
+		f.SetFaults(FaultModel{LossProb: 1, MaxRetransmits: 2, Seed: 1})
+		var clk VClock
+		ep := f.Endpoint(0).WithClock(&clk)
+		if err := ep.Write(Addr{Node: 1, Region: 0}, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+		return clk.Now()
+	}
+	small, big := cost(8), cost(128)
+	if big <= small {
+		t.Fatalf("retransmit cost not payload-proportional: %d bytes → %v, %d bytes → %v", 8, small, 128, big)
+	}
+}

@@ -33,6 +33,10 @@ func (f *Fabric) Persistent() bool {
 // addr durable. On hardware this is a small READ that forces the
 // preceding WRITEs out of the NIC cache; it costs one round trip.
 func (ep *Endpoint) Flush(addr Addr, n int) error {
+	extra, err := ep.admit(addr.Node, 8)
+	if err != nil {
+		return err
+	}
 	ep.fab.verbs.RLock()
 	defer ep.fab.verbs.RUnlock()
 	if err := ep.gateCheck(); err != nil {
@@ -45,7 +49,7 @@ func (ep *Endpoint) Flush(addr Addr, n int) error {
 	if err := r.flush(addr.Offset, n); err != nil {
 		return err
 	}
-	ep.charge(8) // flush READ payload is tiny; cost is the round trip
+	ep.charge(8, extra) // flush READ payload is tiny; cost is the round trip
 	return nil
 }
 
@@ -108,6 +112,7 @@ func (f *Fabric) PowerFail(node NodeID) {
 	}
 	ns.mu.Unlock()
 	f.verbs.Unlock()
+	f.links.broadcast() // unblock verbs stalled toward the dead node
 	for _, r := range regions {
 		r.revertToDurable()
 	}

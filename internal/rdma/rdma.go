@@ -53,7 +53,32 @@ var (
 	// ErrUnaligned is returned for atomic verbs on addresses that are
 	// not 8-byte aligned.
 	ErrUnaligned = errors.New("rdma: atomic address not 8-byte aligned")
+	// ErrLinkPartitioned is returned (wrapped in a LinkError) when the
+	// src→dst link has been partitioned: the QP breaks after exhausting
+	// its transport retry budget.
+	ErrLinkPartitioned = errors.New("rdma: link partitioned")
+	// ErrVerbTimeout is returned (wrapped in a LinkError) when a verb on
+	// a stalled or slow link exceeds the endpoint's deadline
+	// (WithTimeout). The verb's memory effect did NOT happen: the
+	// simulation admits verbs through link rules before touching memory,
+	// so a timed-out verb is equivalent to one lost in the network.
+	ErrVerbTimeout = errors.New("rdma: verb deadline exceeded")
 )
+
+// LinkError decorates a link-rule failure with the affected direction so
+// callers can report the suspect remote node to a failure detector. Use
+// errors.As to extract it; errors.Is matches the wrapped cause
+// (ErrLinkPartitioned or ErrVerbTimeout).
+type LinkError struct {
+	Src, Dst NodeID
+	Err      error
+}
+
+func (e *LinkError) Error() string {
+	return e.Err.Error()
+}
+
+func (e *LinkError) Unwrap() error { return e.Err }
 
 // Addr names one byte of remote memory.
 type Addr struct {

@@ -106,6 +106,20 @@ type Config struct {
 	// deterministically via FailCompute/FailMemory.
 	LiveFD    bool
 	FDTimeout time.Duration
+
+	// VerbTimeout bounds how long any coordinator verb may be held up by
+	// a stalled or slow link (StallLink/SlowLink) before failing with
+	// rdma.ErrVerbTimeout. The transaction then aborts (or retries its
+	// cleanup with backoff) and reports the suspect memory node to the
+	// FD — a gray failure degrades to abort-and-retry, never a wedged
+	// coordinator. Zero means verbs wait forever (the pre-deadline
+	// behaviour; fine when no link faults are injected).
+	VerbTimeout time.Duration
+	// SuspectThreshold is the number of coordinator suspicion reports at
+	// which the FD declares a memory node failed even though it still
+	// heartbeats (gray-failure escalation). 0 = default (4); negative
+	// disables escalation.
+	SuspectThreshold int
 	// FDReplicas > 1 runs the distributed failure detector over a quorum
 	// ensemble (§3.2.4). Must be odd.
 	FDReplicas int
@@ -171,6 +185,9 @@ type Cluster struct {
 	nodes   []*core.ComputeNode
 	tableID map[string]kvlayout.TableID
 	lastRec map[rdma.NodeID]RecoveryStats
+	// recWake is closed and replaced (under mu) whenever a recovery
+	// record lands; waitRecovery blocks on it instead of polling.
+	recWake chan struct{}
 	closed  bool
 
 	stopHB chan struct{}
@@ -191,6 +208,7 @@ func New(cfg Config) (*Cluster, error) {
 		fab:     rdma.NewFabric(lat),
 		tableID: make(map[string]kvlayout.TableID),
 		lastRec: make(map[rdma.NodeID]RecoveryStats),
+		recWake: make(chan struct{}),
 	}
 	if cfg.LossProb > 0 || cfg.DupProb > 0 {
 		c.fab.SetFaults(rdma.FaultModel{LossProb: cfg.LossProb, DupProb: cfg.DupProb, Seed: 1})
@@ -229,9 +247,10 @@ func New(cfg Config) (*Cluster, error) {
 		c.store = quorum.NewStore(cfg.FDReplicas)
 	}
 	c.fd = fdetect.New(fdetect.Config{
-		Timeout:  cfg.FDTimeout,
-		Replicas: max(1, cfg.FDReplicas),
-		Store:    c.store,
+		Timeout:          cfg.FDTimeout,
+		Replicas:         max(1, cfg.FDReplicas),
+		Store:            c.store,
+		SuspectThreshold: cfg.SuspectThreshold,
 	})
 	for _, id := range memIDs {
 		c.fd.RegisterMemory(id)
@@ -243,6 +262,7 @@ func New(cfg Config) (*Cluster, error) {
 		DisablePILL:     cfg.DisablePILL,
 		StallOnConflict: cfg.StallOnConflict,
 		Persist:         cfg.Persistence,
+		VerbTimeout:     cfg.VerbTimeout,
 	}
 	var peers []recovery.ComputePeer
 	for i := 0; i < cfg.ComputeNodes; i++ {
@@ -252,6 +272,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		cn := core.NewComputeNode(c.fab, nodeID, ring, c.schema, ids, opts)
+		cn.SetSuspectReporter(func(n rdma.NodeID) { c.fd.Suspect(n) })
 		for _, m := range c.mems {
 			m.EnsureLogRegion(nodeID, cfg.CoordinatorsPerNode)
 		}
@@ -292,7 +313,7 @@ func New(cfg Config) (*Cluster, error) {
 				case <-c.stopHB:
 					return
 				case <-t.C:
-					for _, m := range c.mems {
+					for _, m := range c.memList() {
 						if !m.Down() {
 							c.fd.Heartbeat(m.ID())
 						}
@@ -318,9 +339,21 @@ func (c *Cluster) onFailure(ev fdetect.Event) {
 		if err == nil {
 			c.mu.Lock()
 			c.lastRec[ev.Node] = stats
+			close(c.recWake)
+			c.recWake = make(chan struct{})
 			c.mu.Unlock()
 		}
 	case fdetect.Memory:
+		// Fence first: a gray-failed node (declared failed by suspicion
+		// escalation while still serving) is taken down before recovery
+		// reconfigures around it. This both prevents a zombie memory
+		// server from serving stale primaries and converts verbs still
+		// retrying toward it into ErrNodeDown — which transactions
+		// tolerate — so in-flight work drains and the stop-the-world
+		// pause in RecoverMemory can proceed.
+		if srv := c.memByID(ev.Node); srv != nil && !srv.Down() {
+			srv.Crash()
+		}
 		_ = c.mgr.RecoverMemory(ev)
 	}
 }
@@ -403,12 +436,28 @@ func (c *Cluster) LoadN(table string, n int, value func(Key) []byte) error {
 }
 
 func (c *Cluster) memByID(id rdma.NodeID) *memnode.Server {
-	for _, m := range c.mems {
+	for _, m := range c.memList() {
 		if m.ID() == id {
 			return m
 		}
 	}
 	return nil
+}
+
+// memList snapshots the memory-server set under the cluster lock
+// (Rereplicate swaps entries concurrently with heartbeats and audits).
+func (c *Cluster) memList() []*memnode.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*memnode.Server(nil), c.mems...)
+}
+
+// mem returns memory server i (current instance, post-Rereplicate
+// aware).
+func (c *Cluster) mem(i int) *memnode.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mems[i]
 }
 
 // TableID resolves a table name; it panics on unknown names (a
@@ -467,6 +516,12 @@ type ConsistencyReport struct {
 	// LockedSlots counts slots with held locks (non-zero on a quiescent
 	// cluster indicates stray locks).
 	LockedSlots int
+	// StrayLocks counts the subset of LockedSlots whose owner is a
+	// known-failed coordinator. These are legitimate residue of failures
+	// (PILL steals or the recycling scan reclaims them); a quiescent
+	// cluster must have LockedSlots == StrayLocks, and zero of both
+	// after RecycleCoordinatorIDs.
+	StrayLocks int
 	// Keys is the number of distinct present keys found.
 	Keys int
 }
@@ -498,6 +553,9 @@ func (c *Cluster) CheckConsistency(table string) (ConsistencyReport, error) {
 			err := srv.ScanSlots(id, p, func(_ uint64, sl kvlayout.Slot, _ uint64) {
 				if kvlayout.IsLocked(sl.Lock) {
 					rep.LockedSlots++
+					if c.fd.FailedIDs().Test(kvlayout.LockOwner(sl.Lock)) {
+						rep.StrayLocks++
+					}
 				}
 				if !sl.Present {
 					return

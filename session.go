@@ -3,9 +3,11 @@ package pandora
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pandora/internal/core"
 	"pandora/internal/kvlayout"
+	"pandora/internal/rdma"
 )
 
 // Session is a client handle bound to one transaction coordinator. A
@@ -34,8 +36,17 @@ func (s *Session) Begin() *Tx {
 
 // Update runs fn inside a transaction and commits, retrying aborts up to
 // maxRetries times. It is the convenience most applications want.
+//
+// A commit that errored after the acknowledgement point counts as
+// success: the write is durable and fn must not run again. Aborts
+// caused by link faults (verb timeouts, partitions) back off with
+// capped exponential delay before retrying, so a transiently gray link
+// is not hammered. Conflict aborts retry immediately a few times, then
+// back off briefly too: on a hot key the lock holder needs the
+// scheduler, and spinning through the whole retry budget can starve it.
 func (s *Session) Update(maxRetries int, fn func(tx *Tx) error) error {
 	var err error
+	b := newBackoff()
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		tx := s.Begin()
 		if err = fn(tx); err != nil {
@@ -43,18 +54,52 @@ func (s *Session) Update(maxRetries int, fn func(tx *Tx) error) error {
 				_ = tx.Abort()
 			}
 			if IsAborted(err) {
+				b.wait(err)
 				continue // conflicting abort: retry
 			}
 			return err
 		}
-		if err = tx.Commit(); err == nil {
+		err = tx.Commit()
+		if err == nil || tx.CommitAcked() {
 			return nil
 		}
 		if !IsAborted(err) {
 			return err
 		}
+		b.wait(err)
 	}
 	return err
+}
+
+// backoff tracks the two retry-delay ladders of Update: one for
+// link-fault aborts, one for conflict aborts.
+type backoff struct {
+	link, conflict time.Duration
+	conflicts      int
+}
+
+func newBackoff() backoff {
+	return backoff{link: 50 * time.Microsecond, conflict: time.Microsecond}
+}
+
+// wait sleeps before a retry according to the abort's cause. Link
+// faults back off 50µs→2ms. Conflicts get a handful of free immediate
+// retries (the common, cheap case), then 1µs→128µs.
+func (b *backoff) wait(err error) {
+	if errors.Is(err, rdma.ErrVerbTimeout) || errors.Is(err, rdma.ErrLinkPartitioned) {
+		time.Sleep(b.link)
+		if next := b.link * 2; next <= 2*time.Millisecond {
+			b.link = next
+		}
+		return
+	}
+	if b.conflicts++; b.conflicts <= 4 {
+		return
+	}
+	time.Sleep(b.conflict)
+	if next := b.conflict * 2; next <= 128*time.Microsecond {
+		b.conflict = next
+	}
 }
 
 // Tx is one transaction. Not safe for concurrent use.
@@ -65,14 +110,21 @@ type Tx struct {
 
 // Errors re-exported for callers.
 var (
-	ErrAborted  = core.ErrAborted
-	ErrNotFound = core.ErrNotFound
-	ErrExists   = core.ErrExists
-	ErrTxDone   = core.ErrTxDone
+	ErrAborted       = core.ErrAborted
+	ErrNotFound      = core.ErrNotFound
+	ErrExists        = core.ErrExists
+	ErrTxDone        = core.ErrTxDone
+	ErrIndeterminate = core.ErrIndeterminate
 )
 
 // IsAborted reports whether err is a transaction abort.
 func IsAborted(err error) bool { return errors.Is(err, core.ErrAborted) }
+
+// IsIndeterminate reports whether err left the transaction's outcome
+// unresolved: cleanup could not complete (e.g. a partition outlasted
+// every retry) and the client must not assume commit or abort. Recovery
+// of the coordinator's node resolves the outcome from the logs.
+func IsIndeterminate(err error) bool { return errors.Is(err, core.ErrIndeterminate) }
 
 // AbortReason extracts the abort reason, or "".
 func AbortReason(err error) string { return core.AbortReason(err) }

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,9 +24,39 @@ import (
 )
 
 func main() {
+	os.Exit(benchMain())
+}
+
+// benchMain holds main's body so that deferred profile writers run even
+// when an experiment fails (os.Exit skips defers).
+func benchMain() int {
 	experiment := flag.String("experiment", "all", "experiment id: all, table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, scan, tradrec, tradss, distfd, persist")
 	quick := flag.Bool("quick", false, "run at CI scale instead of full scale")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexprofile)
+	}
+	if *memprofile != "" {
+		defer writeProfile("heap", *memprofile)
+	}
 
 	s := bench.Full()
 	litmusIters := 150
@@ -43,8 +75,25 @@ func main() {
 	for _, id := range ids {
 		if err := run(id, s, litmusIters, steadyTx); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
+	}
+	return 0
+}
+
+// writeProfile snapshots the named runtime profile into path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if name == "heap" {
+		runtime.GC() // get up-to-date allocation statistics
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
 	}
 }
 

@@ -260,32 +260,28 @@ func (tx *Tx) validate() (bool, error) {
 	if len(tx.reads) == 0 {
 		return true, nil
 	}
-	bufs := make([][]byte, len(tx.reads))
-	ops := make([]*rdma.Op, 0, len(tx.reads))
-	for i, r := range tx.reads {
+	b := rdma.GetBatch()
+	defer b.Put()
+	for _, r := range tx.reads {
 		primary, _, err := tx.cn.replicasFor(r.ref.partition)
 		if err != nil {
 			return false, tx.abort("validation: no live replica: " + err.Error())
 		}
-		bufs[i] = make([]byte, 16)
-		ops = append(ops, &rdma.Op{
-			Kind: rdma.OpRead,
-			Addr: tx.cn.tableAddr(primary, r.ref, kvlayout.SlotLockOff),
-			Buf:  bufs[i],
-		})
+		b.AddRead(tx.cn.tableAddr(primary, r.ref, kvlayout.SlotLockOff), b.Bytes(16))
 	}
 	var err error
 	if tx.cn.getInjector() != nil {
-		err = tx.co.ep.DoSeq(ops...)
+		err = tx.co.ep.DoSeq(b.Ops()...)
 	} else {
-		err = tx.co.ep.Do(ops...)
+		err = tx.co.ep.Do(b.Ops()...)
 	}
 	if err != nil {
 		return false, tx.verbFailure(err)
 	}
 	for i, r := range tx.reads {
-		lock := kvlayout.Uint64(bufs[i][0:])
-		version := kvlayout.Uint64(bufs[i][8:])
+		buf := b.Op(i).Buf
+		lock := kvlayout.Uint64(buf[0:])
+		version := kvlayout.Uint64(buf[8:])
 		if version != r.version {
 			return false, tx.abort(fmt.Sprintf("validation: version of %d/%d moved %d -> %d",
 				r.ref.table, r.ref.key, r.version, version))
@@ -301,11 +297,11 @@ func (tx *Tx) validate() (bool, error) {
 	return true, nil
 }
 
-// applyPayload builds the commit image of a write: version, key field
-// and value — everything after the lock word, written in one WRITE while
-// the lock is still held.
-func applyPayload(tab kvlayout.Table, ent *writeEnt) []byte {
-	buf := make([]byte, tab.SlotSize()-kvlayout.SlotVersionOff)
+// applyPayloadInto fills buf (tab.SlotSize()-kvlayout.SlotVersionOff
+// bytes, already zeroed) with the commit image of a write: version, key
+// field and value — everything after the lock word, written in one WRITE
+// while the lock is still held.
+func applyPayloadInto(tab kvlayout.Table, ent *writeEnt, buf []byte) {
 	kvlayout.PutUint64(buf[0:], ent.newVersion)
 	switch ent.kind {
 	case kvlayout.WriteDelete:
@@ -314,7 +310,6 @@ func applyPayload(tab kvlayout.Table, ent *writeEnt) []byte {
 		kvlayout.PutUint64(buf[8:], kvlayout.KeyField(ent.ref.key))
 		copy(buf[16:], ent.newValue)
 	}
-	return buf
 }
 
 // applyWrites applies every write-set object to every replica (commit
@@ -322,21 +317,21 @@ func applyPayload(tab kvlayout.Table, ent *writeEnt) []byte {
 // commits once all live replicas carry the update (§3.2.5).
 func (tx *Tx) applyWrites() error {
 	injected := tx.cn.getInjector() != nil
-	var batch []*rdma.Op
-	batchEnt := make([]*writeEnt, 0)
-	batchNode := make([]rdma.NodeID, 0)
+	b := rdma.GetBatch()
+	defer b.Put()
 	for _, w := range tx.writes {
 		tab := tx.cn.schema[w.ref.table]
-		payload := applyPayload(tab, w)
+		payload := b.Bytes(int(tab.SlotSize() - kvlayout.SlotVersionOff))
+		applyPayloadInto(tab, w, payload)
 		for _, n := range w.replicas {
-			op := &rdma.Op{
-				Kind: rdma.OpWrite,
-				Addr: tx.cn.tableAddr(n, w.ref, kvlayout.SlotVersionOff),
-				Buf:  payload,
-			}
 			if injected {
 				if tx.cn.crashed.Load() {
 					return tx.crash()
+				}
+				op := &rdma.Op{
+					Kind: rdma.OpWrite,
+					Addr: tx.cn.tableAddr(n, w.ref, kvlayout.SlotVersionOff),
+					Buf:  payload,
 				}
 				err := tx.co.ep.DoSeq(op)
 				switch {
@@ -355,9 +350,7 @@ func (tx *Tx) applyWrites() error {
 					return tx.crash()
 				}
 			} else {
-				batch = append(batch, op)
-				batchEnt = append(batchEnt, w)
-				batchNode = append(batchNode, n)
+				b.AddWrite(tx.cn.tableAddr(n, w.ref, kvlayout.SlotVersionOff), payload)
 			}
 		}
 		if w.kind == kvlayout.WriteInsert {
@@ -370,20 +363,27 @@ func (tx *Tx) applyWrites() error {
 	if injected {
 		return nil
 	}
-	err := tx.co.ep.Do(batch...)
+	err := tx.co.ep.Do(b.Ops()...)
 	if err != nil && errors.Is(err, rdma.ErrCrashed) {
 		return tx.crash()
 	}
+	// The batch was filled in tx.writes × w.replicas order; walk the same
+	// shape to attribute per-op results to their entries.
 	var fatal error
-	for i, op := range batch {
-		switch {
-		case op.Err == nil:
-			batchEnt[i].applied = append(batchEnt[i].applied, batchNode[i])
-		case isMemFault(op.Err):
-			// dead replica: tolerated
-		default:
-			if fatal == nil {
-				fatal = op.Err
+	i := 0
+	for _, w := range tx.writes {
+		for _, n := range w.replicas {
+			op := b.Op(i)
+			i++
+			switch {
+			case op.Err == nil:
+				w.applied = append(w.applied, n)
+			case isMemFault(op.Err):
+				// dead replica: tolerated
+			default:
+				if fatal == nil {
+					fatal = op.Err
+				}
 			}
 		}
 	}
@@ -403,11 +403,12 @@ func (tx *Tx) applyWrites() error {
 // path blindly releases every write-set lock — including ones this
 // transaction never acquired.
 func (tx *Tx) unlockAll(abortPath bool) error {
-	var zero [8]byte
-	var tomb [8]byte
-	kvlayout.PutUint64(tomb[:], kvlayout.TombstoneKeyField)
 	injected := tx.cn.getInjector() != nil
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
+	zero := b.Bytes(8)
+	tomb := b.Bytes(8)
+	kvlayout.PutUint64(tomb, kvlayout.TombstoneKeyField)
 	for _, w := range tx.writes {
 		if !w.locked && !(abortPath && tx.cn.opts.Bugs.ComplicitAbort) {
 			continue
@@ -417,21 +418,14 @@ func (tx *Tx) unlockAll(abortPath bool) error {
 		}
 		primary := w.replicas[0]
 		if abortPath && w.wasInsert && len(w.applied) == 0 {
-			ops = append(ops, &rdma.Op{
-				Kind: rdma.OpWrite,
-				Addr: tx.cn.tableAddr(primary, w.ref, kvlayout.SlotKeyOff),
-				Buf:  tomb[:],
-			})
+			b.AddWrite(tx.cn.tableAddr(primary, w.ref, kvlayout.SlotKeyOff), tomb)
 		}
-		ops = append(ops, &rdma.Op{
-			Kind: rdma.OpWrite,
-			Addr: tx.cn.tableAddr(primary, w.ref, kvlayout.SlotLockOff),
-			Buf:  zero[:],
-		})
+		b.AddWrite(tx.cn.tableAddr(primary, w.ref, kvlayout.SlotLockOff), zero)
 	}
-	if len(ops) == 0 {
+	if b.Len() == 0 {
 		return nil
 	}
+	ops := b.Ops()
 	if injected {
 		// Verb-at-a-time so a crash can land between unlocks; each op
 		// still gets the cleanup retry discipline for link faults.
@@ -463,7 +457,8 @@ func (tx *Tx) unlockAll(abortPath bool) error {
 func (tx *Tx) abortInternal(reason string) error {
 	// Roll back replicas the commit write already reached (possible when
 	// an apply was cut short by a memory or link fault).
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
 	for _, w := range tx.writes {
 		if len(w.applied) == 0 {
 			continue
@@ -478,16 +473,12 @@ func (tx *Tx) abortInternal(reason string) error {
 		tab := tx.cn.schema[w.ref.table]
 		payload := undoPayload(tab, w)
 		for _, n := range w.applied {
-			ops = append(ops, &rdma.Op{
-				Kind: rdma.OpWrite,
-				Addr: tx.cn.tableAddr(n, w.ref, kvlayout.SlotVersionOff),
-				Buf:  payload,
-			})
+			b.AddWrite(tx.cn.tableAddr(n, w.ref, kvlayout.SlotVersionOff), payload)
 		}
 		w.applied = nil
 	}
-	if len(ops) > 0 {
-		if err := tx.doCleanup(ops); err != nil {
+	if b.Len() > 0 {
+		if err := tx.doCleanup(b.Ops()); err != nil {
 			return err
 		}
 	}

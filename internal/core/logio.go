@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"pandora/internal/kvlayout"
 	"pandora/internal/rdma"
 )
@@ -65,18 +67,15 @@ func (tx *Tx) writePandoraLog() error {
 			}
 		}
 	} else {
-		ops := make([]*rdma.Op, 0, len(tx.logServers()))
+		b := rdma.GetBatch()
+		defer b.Put()
 		for _, n := range tx.logServers() {
-			ops = append(ops, &rdma.Op{
-				Kind: rdma.OpWrite,
-				Addr: rdma.Addr{Node: n, Region: region, Offset: off},
-				Buf:  payload,
-			})
+			b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: off}, payload)
 		}
-		if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+		if err := tx.co.ep.Do(b.Ops()...); err != nil && !isMemFault(err) {
 			return tx.verbFailure(err)
 		}
-		for _, op := range ops {
+		for _, op := range b.Ops() {
 			if op.Err == nil {
 				written++
 			} else if !isMemFault(op.Err) {
@@ -91,15 +90,12 @@ func (tx *Tx) writePandoraLog() error {
 	if tx.cn.opts.Persist {
 		// Write-ahead rule for NVM: the log must be durable before any
 		// data is applied (§7, selective one-sided flush).
-		fops := make([]*rdma.Op, 0, len(tx.logServers()))
+		fb := rdma.GetBatch()
+		defer fb.Put()
 		for _, n := range tx.logServers() {
-			fops = append(fops, &rdma.Op{
-				Kind:  rdma.OpFlush,
-				Addr:  rdma.Addr{Node: n, Region: region, Offset: off},
-				Delta: uint64(len(payload)),
-			})
+			fb.AddFlush(rdma.Addr{Node: n, Region: region, Offset: off}, len(payload))
 		}
-		if err := tx.co.ep.Do(fops...); err != nil && !isMemFault(err) {
+		if err := tx.co.ep.Do(fb.Ops()...); err != nil && !isMemFault(err) {
 			return tx.verbFailure(err)
 		}
 	}
@@ -109,22 +105,19 @@ func (tx *Tx) writePandoraLog() error {
 // flushApplied makes every applied slot durable before the commit is
 // acknowledged (§7).
 func (tx *Tx) flushApplied() error {
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
 	for _, w := range tx.writes {
 		tab := tx.cn.schema[w.ref.table]
-		n := tab.SlotSize() - kvlayout.SlotVersionOff
+		n := int(tab.SlotSize() - kvlayout.SlotVersionOff)
 		for _, node := range w.applied {
-			ops = append(ops, &rdma.Op{
-				Kind:  rdma.OpFlush,
-				Addr:  tx.cn.tableAddr(node, w.ref, kvlayout.SlotVersionOff),
-				Delta: n,
-			})
+			b.AddFlush(tx.cn.tableAddr(node, w.ref, kvlayout.SlotVersionOff), n)
 		}
 	}
-	if len(ops) == 0 {
+	if b.Len() == 0 {
 		return nil
 	}
-	if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+	if err := tx.co.ep.Do(b.Ops()...); err != nil && !isMemFault(err) {
 		return tx.verbFailure(err)
 	}
 	return nil
@@ -151,7 +144,8 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 		}
 		replicas = orderReplicas(primary, all)
 	}
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
 	for _, n := range replicas {
 		cur, ok := tx.fordLogAt[n]
 		if !ok {
@@ -160,13 +154,10 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 		if cur+uint64(len(payload)) > tx.logAreaOff()+kvlayout.LockLogOff {
 			return tx.abort("ford log area full")
 		}
-		ops = append(ops, &rdma.Op{
-			Kind: rdma.OpWrite,
-			Addr: rdma.Addr{Node: n, Region: region, Offset: cur},
-			Buf:  payload,
-		})
+		b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: cur}, payload)
 		tx.fordLogAt[n] = cur + uint64(len(payload))
 	}
+	ops := b.Ops()
 	written := 0
 	if tx.cn.getInjector() != nil {
 		for _, op := range ops {
@@ -199,14 +190,17 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 	}
 	tx.logged = true
 	if tx.cn.opts.Persist {
-		fops := make([]*rdma.Op, 0, len(ops))
-		for _, op := range ops {
+		// The flushes join the same batch behind the writes; only the
+		// slice past wn is posted.
+		wn := b.Len()
+		for i := 0; i < wn; i++ {
+			op := b.Op(i)
 			if op.Err != nil {
 				continue
 			}
-			fops = append(fops, &rdma.Op{Kind: rdma.OpFlush, Addr: op.Addr, Delta: uint64(len(payload))})
+			b.AddFlush(op.Addr, len(payload))
 		}
-		if err := tx.co.ep.Do(fops...); err != nil && !isMemFault(err) {
+		if err := tx.co.ep.Do(b.Ops()[wn:]...); err != nil && !isMemFault(err) {
 			return tx.verbFailure(err)
 		}
 	}
@@ -230,19 +224,16 @@ func (tx *Tx) writeLockIntent(ref objRef) error {
 	})
 	off := tx.logAreaOff() + kvlayout.LockLogOff + 8 + uint64(tx.intentIdx)*kvlayout.LockIntentSize
 	region := kvlayout.LogRegionID(tx.cn.id)
-	ops := make([]*rdma.Op, 0, len(tx.logServers()))
+	b := rdma.GetBatch()
+	defer b.Put()
 	for _, n := range tx.logServers() {
-		ops = append(ops, &rdma.Op{
-			Kind: rdma.OpWrite,
-			Addr: rdma.Addr{Node: n, Region: region, Offset: off},
-			Buf:  payload,
-		})
+		b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: off}, payload)
 	}
-	if err := tx.co.ep.Do(ops...); err != nil && !isMemFault(err) {
+	if err := tx.co.ep.Do(b.Ops()...); err != nil && !isMemFault(err) {
 		return tx.verbFailure(err)
 	}
 	written := 0
-	for _, op := range ops {
+	for _, op := range b.Ops() {
 		if op.Err == nil {
 			written++
 		}
@@ -258,33 +249,29 @@ func (tx *Tx) writeLockIntent(ref objRef) error {
 // log.
 func (tx *Tx) logServers() []rdma.NodeID { return tx.co.logServers }
 
-// truncateOps builds the log-truncation WRITEs for this transaction:
-// the 8-byte invalidation of the record header on every node where a
-// log may exist.
-func (tx *Tx) truncateOps() []*rdma.Op {
+// appendTruncateOps appends the log-truncation WRITEs for this
+// transaction to b: the 8-byte invalidation of the record header on
+// every node where a log may exist.
+func (tx *Tx) appendTruncateOps(b *rdma.OpBatch) {
 	region := kvlayout.LogRegionID(tx.cn.id)
 	off := tx.logAreaOff() + kvlayout.TxLogOff
-	nodes := tx.logServers()
 	if tx.cn.opts.Protocol == ProtocolFORD {
 		// FORD-mode spread records over the write-set objects' replicas.
-		seen := map[rdma.NodeID]bool{}
-		nodes = nodes[:0:0]
+		// Sorted so the posting order (which fixes the fault-PRNG draw
+		// order) does not depend on map iteration.
+		nodes := make([]rdma.NodeID, 0, len(tx.fordLogAt))
 		for n := range tx.fordLogAt {
-			if !seen[n] {
-				seen[n] = true
-				nodes = append(nodes, n)
-			}
+			nodes = append(nodes, n)
 		}
+		slices.Sort(nodes)
+		for _, n := range nodes {
+			b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: off}, kvlayout.TruncateWord[:])
+		}
+		return
 	}
-	ops := make([]*rdma.Op, 0, len(nodes))
-	for _, n := range nodes {
-		ops = append(ops, &rdma.Op{
-			Kind: rdma.OpWrite,
-			Addr: rdma.Addr{Node: n, Region: region, Offset: off},
-			Buf:  kvlayout.TruncateWord[:],
-		})
+	for _, n := range tx.logServers() {
+		b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: off}, kvlayout.TruncateWord[:])
 	}
-	return ops
 }
 
 // truncateLogs invalidates this transaction's log records, retrying
@@ -292,11 +279,13 @@ func (tx *Tx) truncateOps() []*rdma.Op {
 // record that cannot be truncated must not be forgotten: the error
 // propagates and tx.logged stays true.
 func (tx *Tx) truncateLogs() error {
-	ops := tx.truncateOps()
-	if len(ops) == 0 {
+	b := rdma.GetBatch()
+	defer b.Put()
+	tx.appendTruncateOps(b)
+	if b.Len() == 0 {
 		return nil
 	}
-	if err := tx.doCleanup(ops); err != nil {
+	if err := tx.doCleanup(b.Ops()); err != nil {
 		return err
 	}
 	tx.logged = false

@@ -82,7 +82,9 @@ func (cn *ComputeNode) probe(ep *rdma.Endpoint, table kvlayout.TableID, key kvla
 	region := kvlayout.TableRegionID(table, partition)
 	slotSize := tab.SlotSize()
 	var res probeResult
-	buf := make([]byte, slotSize*probeWindow)
+	b := rdma.GetBatch()
+	defer b.Put()
+	buf := b.Bytes(int(slotSize) * probeWindow)
 
 	limit := kvlayout.ProbeLimit
 	if uint64(limit) > tab.Slots {
@@ -142,19 +144,13 @@ func (cn *ComputeNode) readSlotWindow(ep *rdma.Endpoint, node rdma.NodeID, regio
 	if startSlot+n > tab.Slots {
 		first = tab.Slots - startSlot
 	}
-	ops := []*rdma.Op{{
-		Kind: rdma.OpRead,
-		Addr: rdma.Addr{Node: node, Region: region, Offset: tab.SlotOffset(startSlot)},
-		Buf:  buf[:first*slotSize],
-	}}
+	b := rdma.GetBatch()
+	defer b.Put()
+	b.AddRead(rdma.Addr{Node: node, Region: region, Offset: tab.SlotOffset(startSlot)}, buf[:first*slotSize])
 	if first < n {
-		ops = append(ops, &rdma.Op{
-			Kind: rdma.OpRead,
-			Addr: rdma.Addr{Node: node, Region: region, Offset: 0},
-			Buf:  buf[first*slotSize:],
-		})
+		b.AddRead(rdma.Addr{Node: node, Region: region, Offset: 0}, buf[first*slotSize:])
 	}
-	return ep.Do(ops...)
+	return ep.Do(b.Ops()...)
 }
 
 // scanForKey re-walks key's probe chain and reports whether any slot
@@ -173,7 +169,9 @@ func (cn *ComputeNode) scanForKey(ep *rdma.Endpoint, table kvlayout.TableID, key
 	}
 	region := kvlayout.TableRegionID(table, partition)
 	slotSize := tab.SlotSize()
-	buf := make([]byte, slotSize*probeWindow)
+	b := rdma.GetBatch()
+	defer b.Put()
+	buf := b.Bytes(int(slotSize) * probeWindow)
 	limit := kvlayout.ProbeLimit
 	if uint64(limit) > tab.Slots {
 		limit = int(tab.Slots)

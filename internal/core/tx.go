@@ -458,20 +458,26 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 		return nil
 	}
 
-	buf := make([]byte, tab.SlotSize())
+	b := rdma.GetBatch()
+	defer b.Put()
+	buf := b.Bytes(int(tab.SlotSize()))
+	lockOp := b.Add()
+	readOp := b.Add()
 	mismatches := 0
 	for {
 		primary, all, err := cn.replicasFor(ref.partition)
 		if err != nil {
 			return tx.abort("no live replica: " + err.Error())
 		}
-		lockOp := &rdma.Op{
+		// The two ops are reused across retries: constant space no matter
+		// how often the lock bounces.
+		*lockOp = rdma.Op{
 			Kind:   rdma.OpCAS,
 			Addr:   cn.tableAddr(primary, ref, kvlayout.SlotLockOff),
 			Expect: 0,
 			Swap:   tx.lockWord(),
 		}
-		readOp := &rdma.Op{Kind: rdma.OpRead, Addr: cn.tableAddr(primary, ref, 0), Buf: buf}
+		*readOp = rdma.Op{Kind: rdma.OpRead, Addr: cn.tableAddr(primary, ref, 0), Buf: buf}
 		// One doorbell: the CAS is ordered before the READ on the same
 		// queue pair, so the READ observes the post-CAS slot. The two ops
 		// admit through the link rules independently, so a fault injected

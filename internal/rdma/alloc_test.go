@@ -1,0 +1,173 @@
+package rdma
+
+import (
+	"testing"
+	"time"
+)
+
+// skipIfRace skips allocation-count assertions under the race detector:
+// its instrumentation allocates inside sync.Pool and channel operations,
+// so AllocsPerRun is meaningless there.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+}
+
+func allocFabric(nodes, regionSize int) *Fabric {
+	f := NewFabric(LatencyModel{BaseRTT: time.Microsecond, BytesPerSec: 1e9})
+	f.AddNode(0)
+	for i := 1; i <= nodes; i++ {
+		f.AddNode(NodeID(i))
+		f.RegisterRegion(NodeID(i), 0, regionSize)
+	}
+	return f
+}
+
+// TestSingleVerbsZeroAlloc: each single-verb helper must be heap-free in
+// steady state — they run once per slot probe / lock attempt.
+func TestSingleVerbsZeroAlloc(t *testing.T) {
+	skipIfRace(t)
+	f := allocFabric(1, 1<<16)
+	var clk VClock
+	ep := f.Endpoint(0).WithClock(&clk)
+	buf := make([]byte, 64)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Write", func() {
+			if err := ep.Write(Addr{Node: 1}, buf); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Read", func() {
+			if err := ep.Read(Addr{Node: 1}, buf); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"CAS", func() {
+			if _, _, err := ep.CAS(Addr{Node: 1, Offset: 128}, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"FAA", func() {
+			if _, err := ep.FAA(Addr{Node: 1, Offset: 136}, 1); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm up
+		if n := testing.AllocsPerRun(200, tc.fn); n > 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestPooledBatchesZeroAlloc covers the commit hot path's batch shapes:
+// lock-and-read (validate), replicated apply (applyWrites), log append +
+// flush (writePandoraLog), and unlock. Built through GetBatch with
+// arena-backed buffers, each must settle to zero heap allocations per
+// batch once the pool is warm.
+func TestPooledBatchesZeroAlloc(t *testing.T) {
+	skipIfRace(t)
+	f := allocFabric(3, 1<<16)
+	f.EnablePersistence()
+	var clk VClock
+	ep := f.Endpoint(0).WithClock(&clk)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"lock-read", func() { // validate(): CAS lock word + read version
+			b := GetBatch()
+			for n := 1; n <= 3; n++ {
+				b.AddCAS(Addr{Node: NodeID(n)}, 0, 0)
+				b.AddRead(Addr{Node: NodeID(n), Offset: 8}, b.Bytes(16))
+			}
+			if err := ep.Do(b.Ops()...); err != nil {
+				t.Fatal(err)
+			}
+			b.Put()
+		}},
+		{"replicated-write", func() { // applyWrites(): payload shared across replicas
+			b := GetBatch()
+			payload := b.Bytes(72)
+			for n := 1; n <= 3; n++ {
+				b.AddWrite(Addr{Node: NodeID(n), Offset: 256}, payload)
+			}
+			if err := ep.Do(b.Ops()...); err != nil {
+				t.Fatal(err)
+			}
+			b.Put()
+		}},
+		{"log-flush", func() { // writePandoraLog(): append records then flush
+			b := GetBatch()
+			rec := b.Bytes(128)
+			for n := 1; n <= 3; n++ {
+				b.AddWrite(Addr{Node: NodeID(n), Offset: 1024}, rec)
+			}
+			if err := ep.Do(b.Ops()...); err != nil {
+				t.Fatal(err)
+			}
+			wn := b.Len()
+			for n := 1; n <= 3; n++ {
+				b.AddFlush(Addr{Node: NodeID(n), Offset: 1024}, 128)
+			}
+			if err := ep.Do(b.Ops()[wn:]...); err != nil {
+				t.Fatal(err)
+			}
+			b.Put()
+		}},
+		{"unlock", func() { // unlockAll(): zero the lock words
+			b := GetBatch()
+			zero := b.Bytes(8)
+			for n := 1; n <= 3; n++ {
+				b.AddWrite(Addr{Node: NodeID(n)}, zero)
+			}
+			if err := ep.Do(b.Ops()...); err != nil {
+				t.Fatal(err)
+			}
+			b.Put()
+		}},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm the pool and the handle cache
+		if n := testing.AllocsPerRun(200, tc.fn); n > 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestParallelPathAllocsBounded: the parallel dispatch path spawns
+// goroutines, so it cannot be literally zero-alloc — but the op batch
+// itself must not add per-op heap allocations on top of the fixed
+// dispatch cost. Assert a small constant bound that would catch a
+// regression back to closure-per-op dispatch.
+func TestParallelPathAllocsBounded(t *testing.T) {
+	skipIfRace(t)
+	f := allocFabric(8, 1<<20)
+	var clk VClock
+	ep := f.Endpoint(0).WithClock(&clk)
+
+	run := func() {
+		b := GetBatch()
+		for n := 1; n <= 8; n++ {
+			b.AddWrite(Addr{Node: NodeID(n)}, b.Bytes(4096))
+		}
+		if err := ep.Do(b.Ops()...); err != nil {
+			t.Fatal(err)
+		}
+		b.Put()
+	}
+	run()
+	// One goroutine per destination node plus scheduling bookkeeping;
+	// anything near one-alloc-per-op (closures, per-op boxing) fails.
+	if n := testing.AllocsPerRun(100, run); n > 24 {
+		t.Errorf("parallel 8-node fan-out: %.1f allocs/op, want <= 24", n)
+	}
+}

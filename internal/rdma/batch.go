@@ -1,0 +1,143 @@
+package rdma
+
+import "sync"
+
+// opChunk is the op-storage chunk size of an OpBatch. Ops live in
+// fixed-size chunks so the *Op pointers Add hands out stay valid while
+// the batch grows (append on a flat []Op would move them).
+const opChunk = 64
+
+// OpBatch is a reusable builder for verb batches, backed by a shared
+// pool. The commit hot path assembles several batches per transaction
+// (lock CASes + validation reads, replica writes, log writes, unlocks);
+// building them from make()'d slices cost a handful of heap allocations
+// per transaction. An OpBatch amortises all of it: op storage, the
+// posting list, and a byte arena for small scratch buffers all retain
+// their capacity across Reset, so a steady-state workload allocates
+// nothing per batch.
+//
+// Usage:
+//
+//	b := rdma.GetBatch()
+//	defer b.Put()
+//	op := b.AddRead(addr, b.Bytes(16))
+//	...
+//	err := ep.Do(b.Ops()...)
+//
+// Every *Op and every Bytes slice is owned by the batch: callers must
+// not retain them past Put (anything that outlives the batch — a result
+// kept across retries, a buffer stored in a map — must be allocated
+// plainly instead).
+type OpBatch struct {
+	chunks [][]Op
+	ptrs   []*Op
+	arena  []byte
+	used   int
+	want   int
+}
+
+var batchPool = sync.Pool{New: func() any { return new(OpBatch) }}
+
+// GetBatch returns an empty batch from the shared pool.
+func GetBatch() *OpBatch { return batchPool.Get().(*OpBatch) }
+
+// Put resets the batch and returns it to the pool.
+func (b *OpBatch) Put() {
+	b.Reset()
+	batchPool.Put(b)
+}
+
+// Len returns the number of ops added since the last Reset.
+func (b *OpBatch) Len() int { return len(b.ptrs) }
+
+// Ops returns the batch's ops in posting order, for ep.Do(b.Ops()...).
+func (b *OpBatch) Ops() []*Op { return b.ptrs }
+
+// Op returns the i'th op added since the last Reset.
+func (b *OpBatch) Op(i int) *Op { return b.ptrs[i] }
+
+// Reset clears the batch for reuse, retaining capacity. If the previous
+// cycle outgrew the byte arena, a single larger arena is installed now,
+// so repeated use converges to zero allocations per cycle.
+func (b *OpBatch) Reset() {
+	if b.want > len(b.arena) {
+		b.arena = make([]byte, ceilPow2(b.want))
+	}
+	b.used = 0
+	b.want = 0
+	b.ptrs = b.ptrs[:0]
+}
+
+// Add appends a zeroed op and returns it. The pointer stays valid until
+// the next Reset/Put.
+func (b *OpBatch) Add() *Op {
+	n := len(b.ptrs)
+	ci, oi := n/opChunk, n%opChunk
+	if ci == len(b.chunks) {
+		b.chunks = append(b.chunks, make([]Op, opChunk))
+	}
+	op := &b.chunks[ci][oi]
+	*op = Op{}
+	b.ptrs = append(b.ptrs, op)
+	return op
+}
+
+// AddRead appends a READ of len(dst) bytes at addr.
+func (b *OpBatch) AddRead(addr Addr, dst []byte) *Op {
+	op := b.Add()
+	op.Kind, op.Addr, op.Buf = OpRead, addr, dst
+	return op
+}
+
+// AddWrite appends a WRITE of src at addr.
+func (b *OpBatch) AddWrite(addr Addr, src []byte) *Op {
+	op := b.Add()
+	op.Kind, op.Addr, op.Buf = OpWrite, addr, src
+	return op
+}
+
+// AddCAS appends an 8-byte compare-and-swap at addr.
+func (b *OpBatch) AddCAS(addr Addr, expect, swap uint64) *Op {
+	op := b.Add()
+	op.Kind, op.Addr, op.Expect, op.Swap = OpCAS, addr, expect, swap
+	return op
+}
+
+// AddFAA appends an 8-byte fetch-and-add at addr.
+func (b *OpBatch) AddFAA(addr Addr, delta uint64) *Op {
+	op := b.Add()
+	op.Kind, op.Addr, op.Delta = OpFAA, addr, delta
+	return op
+}
+
+// AddFlush appends a persistence flush of n bytes at addr.
+func (b *OpBatch) AddFlush(addr Addr, n int) *Op {
+	op := b.Add()
+	op.Kind, op.Addr, op.Delta = OpFlush, addr, uint64(n)
+	return op
+}
+
+// Bytes returns a zeroed n-byte scratch slice from the batch's arena,
+// valid until the next Reset/Put.
+func (b *OpBatch) Bytes(n int) []byte {
+	b.want += n
+	if b.used+n > len(b.arena) {
+		// Outgrown mid-cycle: abandon the current arena (outstanding
+		// slices keep it alive) and start a larger one. Reset sizes the
+		// next arena to this cycle's total, so the spill happens once.
+		b.arena = make([]byte, ceilPow2(max(n, 2*len(b.arena))))
+		b.used = 0
+	}
+	s := b.arena[b.used : b.used+n : b.used+n]
+	b.used += n
+	clear(s)
+	return s
+}
+
+func ceilPow2(n int) int {
+	p := 1024
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -2,7 +2,9 @@ package rdma
 
 import (
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // Fabric is the switched network connecting every node's NIC. It owns
@@ -13,37 +15,61 @@ type Fabric struct {
 	nodes map[NodeID]*nodeState
 	lat   LatencyModel
 
-	// verbs is the in-flight verb barrier: every verb holds the read
-	// side for its whole execution (rights check + memory operation);
-	// state transitions that must fence in-flight work — revocation
-	// (active-link termination), node crash/down — take the write side,
-	// which waits for outstanding verbs to land, exactly as a real QP
-	// transition to the error state flushes outstanding work requests.
-	// Without it, a verb that passed its rights check could land
-	// arbitrarily late — after recovery has already repaired the state
-	// it is about to clobber.
-	verbs sync.RWMutex
+	// epoch invalidates endpoint handle caches (see handleCache): it is
+	// bumped on every rights or liveness transition — revoke, restore,
+	// down/up, crash, power failure — so no endpoint keeps running on
+	// handles it resolved before a fence.
+	epoch atomic.Uint64
 
 	// faults optionally injects transport-level loss/duplication, masked
-	// by the RC transport (see FaultModel).
-	faults *faultState
+	// by the RC transport (see FaultModel). Atomic so the hot path reads
+	// it lock-free.
+	faults atomic.Pointer[faultState]
 
 	// links holds per-(src,dst) fault rules: partitions, stalls and
 	// slowdowns that the RC transport cannot mask (see links.go).
 	links linkTable
 
 	// persist models NVM on memory nodes (see persist.go).
-	persist bool
+	persist atomic.Bool
 }
 
+// nodeState carries one node's fabric-visible state. Each node also
+// owns one shard of the in-flight verb barrier: every verb targeting
+// the node holds verbs.RLock for its whole execution (rights check +
+// memory operation), and state transitions that must fence in-flight
+// work — revocation (active-link termination), node crash/down — take
+// the write side, which waits for outstanding verbs to land, exactly as
+// a real QP transition to the error state flushes outstanding work
+// requests. Sharding the barrier per node means verbs to different
+// memory nodes never contend on one global lock, while a fence still
+// linearizes against every verb that could touch the fenced node.
 type nodeState struct {
-	mu      sync.RWMutex
+	verbs sync.RWMutex
+
+	mu      sync.RWMutex // guards regions and revoked
 	regions map[RegionID]*Region
-	down    bool
 	// revoked holds the endpoints whose access rights to this node have
 	// been terminated.
 	revoked map[NodeID]bool
-	crashed bool // for compute endpoints: local crash flag
+
+	// down/crashed/nrevoked are read lock-free on the verb path; they
+	// are only written under verbs.Lock (the fence), which is what makes
+	// the transition visible to — and ordered against — every in-flight
+	// verb.
+	down     atomic.Bool
+	crashed  atomic.Bool // for compute endpoints: local crash flag
+	nrevoked atomic.Int32
+}
+
+// isRevoked reports whether from's rights to this node are terminated.
+// Callers check nrevoked first so the common no-revocations case costs
+// one atomic load.
+func (ns *nodeState) isRevoked(from NodeID) bool {
+	ns.mu.RLock()
+	ok := ns.revoked[from]
+	ns.mu.RUnlock()
+	return ok
 }
 
 // NewFabric creates a fabric with the given latency model. A zero-value
@@ -57,6 +83,13 @@ func NewFabric(lat LatencyModel) *Fabric {
 // Latency returns the fabric's latency model.
 func (f *Fabric) Latency() LatencyModel { return f.lat }
 
+func newNodeState() *nodeState {
+	return &nodeState{
+		regions: make(map[RegionID]*Region),
+		revoked: make(map[NodeID]bool),
+	}
+}
+
 // AddNode attaches a node to the fabric. It panics if the id is already
 // in use, which indicates a wiring bug.
 func (f *Fabric) AddNode(id NodeID) {
@@ -65,10 +98,7 @@ func (f *Fabric) AddNode(id NodeID) {
 	if _, ok := f.nodes[id]; ok {
 		panic(fmt.Sprintf("rdma: node %d already attached", id))
 	}
-	f.nodes[id] = &nodeState{
-		regions: make(map[RegionID]*Region),
-		revoked: make(map[NodeID]bool),
-	}
+	f.nodes[id] = newNodeState()
 }
 
 // EnsureNode attaches a node if it is not already attached. Used when a
@@ -79,10 +109,7 @@ func (f *Fabric) EnsureNode(id NodeID) {
 	if _, ok := f.nodes[id]; ok {
 		return
 	}
-	f.nodes[id] = &nodeState{
-		regions: make(map[RegionID]*Region),
-		revoked: make(map[NodeID]bool),
-	}
+	f.nodes[id] = newNodeState()
 }
 
 func (f *Fabric) node(id NodeID) *nodeState {
@@ -126,11 +153,15 @@ func (f *Fabric) Revoke(target, from NodeID) {
 	if ns == nil {
 		return
 	}
-	f.verbs.Lock() // fence: wait for in-flight verbs, then cut rights
+	ns.verbs.Lock() // fence: wait for in-flight verbs to target, then cut rights
 	ns.mu.Lock()
-	ns.revoked[from] = true
+	if !ns.revoked[from] {
+		ns.revoked[from] = true
+		ns.nrevoked.Add(1)
+	}
 	ns.mu.Unlock()
-	f.verbs.Unlock()
+	ns.verbs.Unlock()
+	f.epoch.Add(1)
 }
 
 // Restore re-grants previously revoked rights, used when a falsely
@@ -141,8 +172,12 @@ func (f *Fabric) Restore(target, from NodeID) {
 		return
 	}
 	ns.mu.Lock()
-	delete(ns.revoked, from)
+	if ns.revoked[from] {
+		delete(ns.revoked, from)
+		ns.nrevoked.Add(-1)
+	}
 	ns.mu.Unlock()
+	f.epoch.Add(1)
 }
 
 // SetDown marks a node failed (true) or live (false). Verbs targeting a
@@ -154,11 +189,10 @@ func (f *Fabric) SetDown(node NodeID, down bool) {
 	if ns == nil {
 		return
 	}
-	f.verbs.Lock() // fence in-flight verbs across the transition
-	ns.mu.Lock()
-	ns.down = down
-	ns.mu.Unlock()
-	f.verbs.Unlock()
+	ns.verbs.Lock() // fence in-flight verbs to this node across the transition
+	ns.down.Store(down)
+	ns.verbs.Unlock()
+	f.epoch.Add(1)
 	// Verbs parked on a stalled link to this node must observe the
 	// transition (a dead target unblocks them with ErrNodeDown).
 	f.links.broadcast()
@@ -170,23 +204,28 @@ func (f *Fabric) IsDown(node NodeID) bool {
 	if ns == nil {
 		return true
 	}
-	ns.mu.RLock()
-	defer ns.mu.RUnlock()
-	return ns.down
+	return ns.down.Load()
 }
 
 // SetCrashed marks a (compute) node's local process crashed. Endpoints
 // of a crashed node refuse to post verbs with ErrCrashed.
+//
+// The crash flag is issuer-side: the node's in-flight verbs may target
+// any memory node, so the fence must cover every barrier shard, not
+// just one. fenceAll acquires the shards in ascending node order (verbs
+// hold only a single shard's read side, so this cannot deadlock) and
+// guarantees that when SetCrashed returns, all of the crashed node's
+// outstanding verbs have landed and no new one can pass the rights
+// check.
 func (f *Fabric) SetCrashed(node NodeID, crashed bool) {
 	ns := f.node(node)
 	if ns == nil {
 		return
 	}
-	f.verbs.Lock() // fence: a crashed node's in-flight verbs land first
-	ns.mu.Lock()
-	ns.crashed = crashed
-	ns.mu.Unlock()
-	f.verbs.Unlock()
+	fenced := f.fenceAll()
+	ns.crashed.Store(crashed)
+	unfence(fenced)
+	f.epoch.Add(1)
 	// A crashed issuer's verbs parked on stalled links die with
 	// ErrCrashed rather than outliving the process.
 	f.links.broadcast()
@@ -198,47 +237,33 @@ func (f *Fabric) IsCrashed(node NodeID) bool {
 	if ns == nil {
 		return true
 	}
-	ns.mu.RLock()
-	defer ns.mu.RUnlock()
-	return ns.crashed
+	return ns.crashed.Load()
 }
 
-// check validates that a verb from endpoint from may access node target,
-// returning the target state on success.
-func (f *Fabric) check(target, from NodeID) (*nodeState, error) {
-	if self := f.node(from); self != nil {
-		self.mu.RLock()
-		crashed := self.crashed
-		self.mu.RUnlock()
-		if crashed {
-			return nil, ErrCrashed
-		}
+// fenceAll write-locks every node's barrier shard in ascending node
+// order and returns them for unfence. Verb execution holds at most one
+// shard (its target's) read-locked and never blocks while holding it on
+// anything but leaf locks, so a globally ordered sweep cannot deadlock.
+func (f *Fabric) fenceAll() []*nodeState {
+	f.mu.RLock()
+	ids := make([]NodeID, 0, len(f.nodes))
+	for id := range f.nodes {
+		ids = append(ids, id)
 	}
-	ns := f.node(target)
-	if ns == nil {
-		return nil, ErrNodeDown
+	f.mu.RUnlock()
+	slices.Sort(ids)
+	states := make([]*nodeState, len(ids))
+	for i, id := range ids {
+		states[i] = f.node(id)
 	}
-	ns.mu.RLock()
-	defer ns.mu.RUnlock()
-	if ns.down {
-		return nil, ErrNodeDown
+	for _, ns := range states {
+		ns.verbs.Lock()
 	}
-	if ns.revoked[from] {
-		return nil, ErrRevoked
-	}
-	return ns, nil
+	return states
 }
 
-func (f *Fabric) region(target, from NodeID, id RegionID) (*Region, error) {
-	ns, err := f.check(target, from)
-	if err != nil {
-		return nil, err
+func unfence(states []*nodeState) {
+	for i := len(states) - 1; i >= 0; i-- {
+		states[i].verbs.Unlock()
 	}
-	ns.mu.RLock()
-	r := ns.regions[id]
-	ns.mu.RUnlock()
-	if r == nil {
-		return nil, ErrNoRegion
-	}
-	return r, nil
 }

@@ -30,7 +30,11 @@ type FaultModel struct {
 	Seed uint64
 }
 
-// faultState is the fabric's live fault injector.
+// faultState is the fabric's live fault injector. The PRNG is
+// sequential by design — reproducibility is the point — so every draw
+// serialises on mu. Parallel batches keep the draw order deterministic
+// by pre-rolling all of their draws in posting order before dispatch
+// (see doParallel).
 type faultState struct {
 	mu    sync.Mutex
 	model FaultModel
@@ -72,24 +76,24 @@ func (fs *faultState) roll() (retries int, dup bool) {
 }
 
 // SetFaults installs (or, with a zero model, removes) transport fault
-// injection on the fabric.
+// injection on the fabric. The cumulative counters survive re-seeding.
 func (f *Fabric) SetFaults(m FaultModel) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.faults == nil {
-		f.faults = &faultState{}
+	fs := f.faults.Load()
+	if fs == nil {
+		fs = &faultState{}
+		if !f.faults.CompareAndSwap(nil, fs) {
+			fs = f.faults.Load()
+		}
 	}
-	f.faults.mu.Lock()
-	f.faults.model = m
-	f.faults.rng = m.Seed | 1
-	f.faults.mu.Unlock()
+	fs.mu.Lock()
+	fs.model = m
+	fs.rng = m.Seed | 1
+	fs.mu.Unlock()
 }
 
 // Retransmits returns the total transport retransmissions performed.
 func (f *Fabric) Retransmits() int64 {
-	f.mu.RLock()
-	fs := f.faults
-	f.mu.RUnlock()
+	fs := f.faults.Load()
 	if fs == nil {
 		return 0
 	}
@@ -99,9 +103,7 @@ func (f *Fabric) Retransmits() int64 {
 // DuplicatesDropped returns the total duplicated packets the RC receiver
 // discarded.
 func (f *Fabric) DuplicatesDropped() int64 {
-	f.mu.RLock()
-	fs := f.faults
-	f.mu.RUnlock()
+	fs := f.faults.Load()
 	if fs == nil {
 		return 0
 	}
@@ -114,9 +116,7 @@ func (f *Fabric) DuplicatesDropped() int64 {
 // of the same size under the latency model (the RC retransmission
 // timeout is of the same order at these scales).
 func (f *Fabric) transportFaults(n int) time.Duration {
-	f.mu.RLock()
-	fs := f.faults
-	f.mu.RUnlock()
+	fs := f.faults.Load()
 	if fs == nil {
 		return 0
 	}

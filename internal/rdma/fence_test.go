@@ -201,3 +201,221 @@ func TestTransportFaultsMaskedByRC(t *testing.T) {
 		t.Fatalf("fault pattern not reproducible: %d vs %d retransmits", a, b)
 	}
 }
+
+// TestRevokeFencesParallelFanout is the QP-flush property under the
+// parallel engine: the hammer issues multi-node fan-out batches big
+// enough to take the goroutine-dispatch path, and Revoke must still
+// linearize against every in-flight verb targeting the revoked node.
+func TestRevokeFencesParallelFanout(t *testing.T) {
+	const nodes = 4
+	f := NewFabric(LatencyModel{})
+	f.AddNode(0)
+	for i := 1; i <= nodes; i++ {
+		f.AddNode(NodeID(i))
+		f.RegisterRegion(NodeID(i), 0, 8<<10)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ep := f.Endpoint(0)
+			buf := make([]byte, 4<<10) // 4 nodes x 4 KiB: parallel path
+			for i := range buf {
+				buf[i] = byte(g + 1)
+			}
+			ops := make([]*Op, nodes)
+			for i := range ops {
+				ops[i] = &Op{Kind: OpWrite, Addr: Addr{Node: NodeID(i + 1)}, Buf: buf}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = ep.Do(ops...) // node 1 starts failing after the revoke
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	f.Revoke(1, 0)
+	// After Revoke returns, the barrier guarantees every in-flight verb
+	// to node 1 has landed; its memory must never change again, even
+	// while the hammer keeps writing to nodes 2..4.
+	snap := make([]byte, 1)
+	if err := f.Endpoint(1).Read(Addr{Node: 1}, snap); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	after := make([]byte, 1)
+	if err := f.Endpoint(1).Read(Addr{Node: 1}, after); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if snap[0] != after[0] {
+		t.Fatalf("memory changed after revocation barrier: %d -> %d", snap[0], after[0])
+	}
+}
+
+// TestSetCrashedFencesParallelFanout: the issuer-side crash fence must
+// cover every barrier shard, because a parallel batch has verbs in
+// flight toward several nodes at once.
+func TestSetCrashedFencesParallelFanout(t *testing.T) {
+	const nodes = 4
+	f := NewFabric(LatencyModel{})
+	f.AddNode(0)
+	for i := 1; i <= nodes; i++ {
+		f.AddNode(NodeID(i))
+		f.RegisterRegion(NodeID(i), 0, 8<<10)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ep := f.Endpoint(0)
+			buf := make([]byte, 4<<10)
+			for i := range buf {
+				buf[i] = byte(g + 1)
+			}
+			ops := make([]*Op, nodes)
+			for i := range ops {
+				ops[i] = &Op{Kind: OpWrite, Addr: Addr{Node: NodeID(i + 1)}, Buf: buf}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := ep.Do(ops...); errors.Is(err, ErrCrashed) {
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	f.SetCrashed(0, true)
+	// All shards were fenced: no verb of the crashed issuer may land on
+	// ANY node after SetCrashed returns.
+	snap := make([]byte, nodes)
+	for i := 1; i <= nodes; i++ {
+		if err := f.Endpoint(NodeID(i)).Read(Addr{Node: NodeID(i)}, snap[i-1:i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+	for i := 1; i <= nodes; i++ {
+		after := make([]byte, 1)
+		if err := f.Endpoint(NodeID(i)).Read(Addr{Node: NodeID(i)}, after); err != nil {
+			t.Fatal(err)
+		}
+		if snap[i-1] != after[0] {
+			t.Fatalf("node %d memory changed after crash fence: %d -> %d", i, snap[i-1], after[0])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDoSameNodeOrdering: ops to the same destination share a queue
+// pair, so a Do batch executes them in posting order — the lock-CAS /
+// slot-READ doorbell of the commit path depends on it.
+func TestDoSameNodeOrdering(t *testing.T) {
+	f := NewFabric(LatencyModel{})
+	f.AddNode(0)
+	f.AddNode(1)
+	f.RegisterRegion(1, 0, 64<<10)
+
+	ep := f.Endpoint(0)
+	// CAS then READ of the same word: the READ must observe the swap.
+	got := make([]byte, 8)
+	cas := &Op{Kind: OpCAS, Addr: Addr{Node: 1}, Expect: 0, Swap: 0xbeef}
+	read := &Op{Kind: OpRead, Addr: Addr{Node: 1}, Buf: got}
+	if err := ep.Do(cas, read); err != nil {
+		t.Fatal(err)
+	}
+	if !cas.Swapped {
+		t.Fatal("CAS did not swap")
+	}
+	if v := uint64(got[0]) | uint64(got[1])<<8; v != 0xbeef {
+		t.Fatalf("READ after CAS in one batch saw %#x, want 0xbeef", v)
+	}
+
+	// WRITE then READ with payloads large enough that a multi-node batch
+	// would go parallel: same destination must still stay in order.
+	src := make([]byte, 16<<10)
+	for i := range src {
+		src[i] = 0x5a
+	}
+	dst := make([]byte, 16<<10)
+	w := &Op{Kind: OpWrite, Addr: Addr{Node: 1, Offset: 4096}, Buf: src}
+	r := &Op{Kind: OpRead, Addr: Addr{Node: 1, Offset: 4096}, Buf: dst}
+	if err := ep.Do(w, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != 0x5a {
+			t.Fatalf("byte %d: READ saw %#x before its same-QP WRITE landed", i, dst[i])
+		}
+	}
+}
+
+// TestStalledLinkDoesNotBlockOtherQPs: a verb parked on a stalled link
+// holds only its own destination's queue pair; verbs of the same batch
+// toward other nodes complete meanwhile.
+func TestStalledLinkDoesNotBlockOtherQPs(t *testing.T) {
+	f := NewFabric(LatencyModel{})
+	f.AddNode(0)
+	f.AddNode(1)
+	f.AddNode(2)
+	f.RegisterRegion(1, 0, 8<<10)
+	f.RegisterRegion(2, 0, 8<<10)
+	f.StallLink(0, 1)
+
+	payload := make([]byte, 8<<10) // 2 nodes x 8 KiB: parallel path
+	for i := range payload {
+		payload[i] = 7
+	}
+	done := make(chan error, 1)
+	go func() {
+		ep := f.Endpoint(0)
+		done <- ep.Do(
+			&Op{Kind: OpWrite, Addr: Addr{Node: 1}, Buf: payload},
+			&Op{Kind: OpWrite, Addr: Addr{Node: 2}, Buf: payload},
+		)
+	}()
+
+	// The write to node 2 must land while its sibling is parked on the
+	// stalled link to node 1.
+	deadline := time.Now().Add(2 * time.Second)
+	got := make([]byte, 1)
+	for {
+		if err := f.Endpoint(2).Read(Addr{Node: 2}, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write to node 2 did not land while link 0->1 was stalled")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	select {
+	case err := <-done:
+		t.Fatalf("Do returned (%v) while one verb was still stalled", err)
+	default:
+	}
+	f.HealLink(0, 1)
+	if err := <-done; err != nil {
+		t.Fatalf("Do after heal: %v", err)
+	}
+}

@@ -17,39 +17,26 @@ package rdma
 // EnablePersistence turns on the volatile/durable split for every
 // region registered afterwards (call before wiring a cluster).
 func (f *Fabric) EnablePersistence() {
-	f.mu.Lock()
-	f.persist = true
-	f.mu.Unlock()
+	f.persist.Store(true)
 }
 
 // Persistent reports whether the fabric models NVM persistence.
 func (f *Fabric) Persistent() bool {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.persist
+	return f.persist.Load()
 }
 
 // Flush is the selective one-sided flush verb: it makes the n bytes at
-// addr durable. On hardware this is a small READ that forces the
-// preceding WRITEs out of the NIC cache; it costs one round trip.
+// addr durable. On hardware the flush read-after-write drains the
+// written bytes through the NIC, so its cost scales with the flushed
+// byte count like any other verb (it was previously mischarged as a
+// fixed 8-byte round trip).
 func (ep *Endpoint) Flush(addr Addr, n int) error {
-	extra, err := ep.admit(addr.Node, 8)
-	if err != nil {
-		return err
+	op := Op{Kind: OpFlush, Addr: addr, Delta: uint64(n)}
+	d := ep.post(&op, faultInline)
+	if op.Err != nil {
+		return op.Err
 	}
-	ep.fab.verbs.RLock()
-	defer ep.fab.verbs.RUnlock()
-	if err := ep.gateCheck(); err != nil {
-		return err
-	}
-	r, err := ep.fab.region(addr.Node, ep.node, addr.Region)
-	if err != nil {
-		return err
-	}
-	if err := r.flush(addr.Offset, n); err != nil {
-		return err
-	}
-	ep.charge(8, extra) // flush READ payload is tiny; cost is the round trip
+	ep.clock.Advance(d)
 	return nil
 }
 
@@ -69,10 +56,10 @@ func (r *Region) flush(off uint64, n int) error {
 	if n == 0 {
 		return nil
 	}
-	unlock := r.lockRange(off, n)
-	defer unlock()
+	first, last, whole := r.lock(off, n)
 	r.ensureDurable()
 	copy(r.durable[off:off+uint64(n)], r.buf[off:off+uint64(n)])
+	r.unlock(first, last, whole)
 	return nil
 }
 
@@ -80,16 +67,16 @@ func (r *Region) flush(off uint64, n int) error {
 // setup-time loading (preload, re-replication copies) is considered
 // persisted.
 func (r *Region) MarkDurable() {
-	unlock := r.lockRange(0, len(r.buf))
-	defer unlock()
+	r.whole.Lock()
+	defer r.whole.Unlock()
 	r.ensureDurable()
 	copy(r.durable, r.buf)
 }
 
 // revertToDurable discards volatile state (power failure).
 func (r *Region) revertToDurable() {
-	unlock := r.lockRange(0, len(r.buf))
-	defer unlock()
+	r.whole.Lock()
+	defer r.whole.Unlock()
 	r.ensureDurable()
 	copy(r.buf, r.durable)
 }
@@ -103,15 +90,16 @@ func (f *Fabric) PowerFail(node NodeID) {
 	if ns == nil {
 		return
 	}
-	f.verbs.Lock()
+	ns.verbs.Lock() // fence in-flight verbs to this node, then cut power
+	ns.down.Store(true)
 	ns.mu.Lock()
-	ns.down = true
 	regions := make([]*Region, 0, len(ns.regions))
 	for _, r := range ns.regions {
 		regions = append(regions, r)
 	}
 	ns.mu.Unlock()
-	f.verbs.Unlock()
+	ns.verbs.Unlock()
+	f.epoch.Add(1)
 	f.links.broadcast() // unblock verbs stalled toward the dead node
 	for _, r := range regions {
 		r.revertToDurable()

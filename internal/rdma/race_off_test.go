@@ -1,0 +1,5 @@
+//go:build !race
+
+package rdma
+
+const raceEnabled = false

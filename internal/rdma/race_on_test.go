@@ -1,0 +1,8 @@
+//go:build race
+
+package rdma
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-count assertions are skipped under race: the detector
+// instruments sync.Pool and allocates behind the scenes.
+const raceEnabled = true

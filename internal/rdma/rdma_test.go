@@ -454,3 +454,43 @@ func TestRegionReadUint64(t *testing.T) {
 		t.Fatalf("oob ReadUint64 err = %v", err)
 	}
 }
+
+func TestFlushChargesByteCount(t *testing.T) {
+	lat := LatencyModel{BaseRTT: time.Microsecond, BytesPerSec: 1e9}
+	f := NewFabric(lat)
+	f.EnablePersistence()
+	f.AddNode(0)
+	f.AddNode(1)
+	f.RegisterRegion(1, 0, 8192)
+
+	var clk VClock
+	ep := f.Endpoint(0).WithClock(&clk)
+	if err := ep.Write(Addr{Node: 1}, make([]byte, 4000)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 4000-byte flush on a 1 GB/s link: 1 µs RTT + 4 µs transfer.
+	// The old engine mischarged every flush as a fixed 8-byte verb.
+	clk.Reset()
+	if err := ep.Flush(Addr{Node: 1}, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := clk.Now(), lat.Verb(4000); got != want {
+		t.Fatalf("Flush(4000) charged %v, want %v", got, want)
+	}
+	if clk.Now() <= lat.Verb(8) {
+		t.Fatalf("Flush charged like a fixed 8-byte verb: %v", clk.Now())
+	}
+
+	// The same holds for an OpFlush issued through a batch.
+	clk.Reset()
+	b := GetBatch()
+	b.AddFlush(Addr{Node: 1}, 4000)
+	if err := ep.Do(b.Ops()...); err != nil {
+		t.Fatal(err)
+	}
+	b.Put()
+	if got, want := clk.Now(), lat.Verb(4000); got != want {
+		t.Fatalf("batched OpFlush charged %v, want %v", got, want)
+	}
+}

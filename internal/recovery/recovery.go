@@ -251,7 +251,8 @@ func (m *Manager) readLogRegions(ep *rdma.Endpoint, failed rdma.NodeID, stats *S
 	size := m.cfg.CoordsPerNode * kvlayout.LogAreaSize
 	region := kvlayout.LogRegionID(failed)
 	out := make(map[rdma.NodeID][]byte)
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
 	var nodes []rdma.NodeID
 	for _, n := range m.logNodes(failed) {
 		if m.cfg.Fabric.IsDown(n) {
@@ -260,22 +261,24 @@ func (m *Manager) readLogRegions(ep *rdma.Endpoint, failed rdma.NodeID, stats *S
 		if m.cfg.Fabric.LookupRegion(n, region) == nil {
 			continue
 		}
+		// The images are returned to the caller, so they must outlive the
+		// batch: plain allocations, not arena bytes.
 		buf := make([]byte, size)
-		ops = append(ops, &rdma.Op{Kind: rdma.OpRead, Addr: rdma.Addr{Node: n, Region: region}, Buf: buf})
+		b.AddRead(rdma.Addr{Node: n, Region: region}, buf)
 		nodes = append(nodes, n)
 	}
-	if len(ops) == 0 {
+	if b.Len() == 0 {
 		return out, nil
 	}
-	_ = ep.Do(ops...) // per-op errors inspected below
-	for i, op := range ops {
+	_ = ep.Do(b.Ops()...) // per-op errors inspected below
+	for i, op := range b.Ops() {
 		if op.Err != nil {
 			continue // log server died mid-read; surviving copies suffice
 		}
 		out[nodes[i]] = op.Buf
 		stats.LogBytesRead += len(op.Buf)
 	}
-	if len(out) == 0 && len(ops) > 0 {
+	if len(out) == 0 {
 		return nil, fmt.Errorf("recovery: no log copy of node %d readable", failed)
 	}
 	return out, nil
@@ -332,7 +335,8 @@ func (m *Manager) reconstruct(regions map[rdma.NodeID][]byte, ev fdetect.Event) 
 // write-set object (one parallel round) and reports whether all carry
 // the logged new version.
 func (m *Manager) allReplicasUpdated(ep *rdma.Endpoint, tx strayTx) (bool, error) {
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
 	var wants []uint64
 	for _, w := range tx.writes {
 		tab := m.cfg.Schema[w.Table]
@@ -340,17 +344,12 @@ func (m *Manager) allReplicasUpdated(ep *rdma.Endpoint, tx strayTx) (bool, error
 			if m.cfg.Fabric.IsDown(n) {
 				continue // commit needed only the live replicas
 			}
-			buf := make([]byte, 8)
-			ops = append(ops, &rdma.Op{
-				Kind: rdma.OpRead,
-				Addr: rdma.Addr{Node: n, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotVersionOff},
-				Buf:  buf,
-			})
+			b.AddRead(rdma.Addr{Node: n, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotVersionOff}, b.Bytes(8))
 			wants = append(wants, w.NewVersion)
 		}
 	}
-	_ = ep.Do(ops...)
-	for i, op := range ops {
+	_ = ep.Do(b.Ops()...)
+	for i, op := range b.Ops() {
 		if op.Err != nil {
 			continue // replica died mid-check: treat as tolerated
 		}
@@ -368,7 +367,8 @@ func (m *Manager) allReplicasUpdated(ep *rdma.Endpoint, tx strayTx) (bool, error
 // image to write (under the lock) before unlocking.
 func (m *Manager) unlockTx(ep *rdma.Endpoint, tx strayTx, rollbackOf map[int][]rdma.Addr) error {
 	word := lockWordFor(tx.coord, tx.txID)
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
 	for i, w := range tx.writes {
 		tab := m.cfg.Schema[w.Table]
 		primary, ok := m.Ring().Primary(w.Partition, func(n rdma.NodeID) bool { return !m.cfg.Fabric.IsDown(n) })
@@ -377,17 +377,12 @@ func (m *Manager) unlockTx(ep *rdma.Endpoint, tx strayTx, rollbackOf map[int][]r
 		}
 		if rollbackOf != nil {
 			for _, addr := range rollbackOf[i] {
-				ops = append(ops, &rdma.Op{Kind: rdma.OpWrite, Addr: addr, Buf: kvlayout.RollbackImage(tab, w)})
+				b.AddWrite(addr, kvlayout.RollbackImage(tab, w))
 			}
 		}
-		ops = append(ops, &rdma.Op{
-			Kind:   rdma.OpCAS,
-			Addr:   rdma.Addr{Node: primary, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotLockOff},
-			Expect: word,
-			Swap:   0,
-		})
+		b.AddCAS(rdma.Addr{Node: primary, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotLockOff}, word, 0)
 	}
-	_ = ep.Do(ops...) // failed CASes mean "already released" — fine
+	_ = ep.Do(b.Ops()...) // failed CASes mean "already released" — fine
 	return nil
 }
 
@@ -398,7 +393,8 @@ func (m *Manager) rollBack(ep *rdma.Endpoint, tx strayTx) error {
 	// allReplicasUpdated, but recovery re-reads per write so that a
 	// re-executed recovery — idempotence — stays correct).
 	rollback := make(map[int][]rdma.Addr)
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
 	var writeIdx []int
 	for i, w := range tx.writes {
 		tab := m.cfg.Schema[w.Table]
@@ -409,12 +405,12 @@ func (m *Manager) rollBack(ep *rdma.Endpoint, tx strayTx) error {
 			// The version word starts the slot's rollback image, so the
 			// same address serves the check and the undo write.
 			addr := rdma.Addr{Node: n, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotVersionOff}
-			ops = append(ops, &rdma.Op{Kind: rdma.OpRead, Addr: addr, Buf: make([]byte, 8)})
+			b.AddRead(addr, b.Bytes(8))
 			writeIdx = append(writeIdx, i)
 		}
 	}
-	_ = ep.Do(ops...)
-	for k, op := range ops {
+	_ = ep.Do(b.Ops()...)
+	for k, op := range b.Ops() {
 		if op.Err != nil {
 			continue
 		}
@@ -433,7 +429,8 @@ func (m *Manager) rollBack(ep *rdma.Endpoint, tx strayTx) error {
 // log node: one parallel round of 8-byte writes.
 func (m *Manager) truncateAll(ep *rdma.Endpoint, ev fdetect.Event) error {
 	region := kvlayout.LogRegionID(ev.Node)
-	var ops []*rdma.Op
+	b := rdma.GetBatch()
+	defer b.Put()
 	for _, n := range m.logNodes(ev.Node) {
 		if m.cfg.Fabric.IsDown(n) || m.cfg.Fabric.LookupRegion(n, region) == nil {
 			continue
@@ -442,14 +439,10 @@ func (m *Manager) truncateAll(ep *rdma.Endpoint, ev fdetect.Event) error {
 			if slot >= m.cfg.CoordsPerNode {
 				break
 			}
-			ops = append(ops, &rdma.Op{
-				Kind: rdma.OpWrite,
-				Addr: rdma.Addr{Node: n, Region: region, Offset: kvlayout.LogAreaOffset(slot) + kvlayout.TxLogOff},
-				Buf:  kvlayout.TruncateWord[:],
-			})
+			b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: kvlayout.LogAreaOffset(slot) + kvlayout.TxLogOff}, kvlayout.TruncateWord[:])
 		}
 	}
-	_ = ep.Do(ops...)
+	_ = ep.Do(b.Ops()...)
 	return nil
 }
 
@@ -476,38 +469,30 @@ func (m *Manager) releaseIntentLocks(ep *rdma.Endpoint, regions map[rdma.NodeID]
 			continue
 		}
 		txID := intents[0].TxID
-		var ops []*rdma.Op
+		b := rdma.GetBatch()
 		for _, li := range intents {
 			tab := m.cfg.Schema[li.Table]
 			primary, ok := m.Ring().Primary(li.Partition, func(n rdma.NodeID) bool { return !m.cfg.Fabric.IsDown(n) })
 			if !ok {
 				continue
 			}
-			ops = append(ops, &rdma.Op{
-				Kind:   rdma.OpCAS,
-				Addr:   rdma.Addr{Node: primary, Region: kvlayout.TableRegionID(li.Table, li.Partition), Offset: tab.SlotOffset(li.Slot) + kvlayout.SlotLockOff},
-				Expect: lockWordFor(coord, txID),
-				Swap:   0,
-			})
+			b.AddCAS(rdma.Addr{Node: primary, Region: kvlayout.TableRegionID(li.Table, li.Partition), Offset: tab.SlotOffset(li.Slot) + kvlayout.SlotLockOff}, lockWordFor(coord, txID), 0)
 		}
-		_ = ep.Do(ops...)
-		for _, op := range ops {
+		_ = ep.Do(b.Ops()...)
+		for _, op := range b.Ops() {
 			if op.Err == nil && op.Swapped {
 				freed++
 			}
 		}
 		// Raise the floor on every log copy.
-		var floor [8]byte
-		kvlayout.PutUint64(floor[:], txID)
-		var fops []*rdma.Op
+		b.Reset()
+		floor := b.Bytes(8)
+		kvlayout.PutUint64(floor, txID)
 		for n := range regions {
-			fops = append(fops, &rdma.Op{
-				Kind: rdma.OpWrite,
-				Addr: rdma.Addr{Node: n, Region: region, Offset: areaOff + kvlayout.LockLogOff},
-				Buf:  floor[:],
-			})
+			b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: areaOff + kvlayout.LockLogOff}, floor)
 		}
-		_ = ep.Do(fops...)
+		_ = ep.Do(b.Ops()...)
+		b.Put()
 	}
 	return freed, nil
 }

@@ -1,0 +1,41 @@
+# Mirrors .github/workflows/ci.yml so every CI gate runs locally with
+# one command. `make lint` is the static-analysis gate: stock go vet,
+# the pandora-vet protocol-invariant suite (tools/analyzers), and —
+# when installed — staticcheck and govulncheck.
+
+GO      ?= go
+BIN     := bin
+VETTOOL := $(BIN)/pandora-vet
+
+.PHONY: all build lint test bench-smoke chaos-smoke clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+$(VETTOOL): $(wildcard cmd/pandora-vet/*.go tools/analyzers/*.go)
+	$(GO) build -o $(VETTOOL) ./cmd/pandora-vet
+
+lint: $(VETTOOL)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath $(VETTOOL)) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
+test:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench . -benchtime 100x ./internal/rdma/
+
+chaos-smoke:
+	$(GO) test -race -short ./internal/chaos/
+	$(GO) run ./cmd/pandora-chaos -seed 42 -events 8 >$(BIN)/a.log
+	$(GO) run ./cmd/pandora-chaos -seed 42 -events 8 >$(BIN)/b.log
+	cmp $(BIN)/a.log $(BIN)/b.log
+
+clean:
+	rm -rf $(BIN)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	pandora "pandora"
+	"pandora/internal/race"
 )
 
 // The smoke tests run every experiment at Quick scale: they assert the
@@ -160,7 +161,7 @@ func TestSteadyStateOverheadShape(t *testing.T) {
 
 func TestDistributedFDUnder20ms(t *testing.T) {
 	fdTimeout := 5 * time.Millisecond
-	if raceEnabled {
+	if race.Enabled {
 		// Under the race detector even live nodes' heartbeats miss a
 		// 5 ms deadline, so the FD fences the survivor too and it never
 		// unblocks. The shape check only needs *a* working regime.

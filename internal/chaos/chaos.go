@@ -180,7 +180,7 @@ func Run(cfg Config) (*Result, error) {
 	// the quiesce would deadlock against it.
 	activeLinks := 0
 	for i, ev := range schedule {
-		time.Sleep(cfg.Gap)
+		time.Sleep(cfg.Gap) //pandora:wallclock schedule pacing lets the live workload make progress between events; outcomes are audited, not timed
 		if err := e.apply(ev); err != nil {
 			if !cfg.Escalate {
 				close(e.stop)
@@ -303,7 +303,7 @@ func (e *engine) worker(node, coord int, seed int64) {
 		dead := e.step(s, rng)
 		e.gate.RUnlock()
 		if dead {
-			time.Sleep(200 * time.Microsecond)
+			time.Sleep(200 * time.Microsecond) //pandora:wallclock brief real backoff before re-acquiring a session on a recovering node
 			s = e.c.Session(node, coord)
 		}
 	}

@@ -39,7 +39,7 @@ func (tx *Tx) doCleanup(ops []*rdma.Op) error {
 			return &indeterminateError{cause: pending[0].Err}
 		}
 		if attempt > 0 {
-			time.Sleep(backoff)
+			time.Sleep(backoff) //pandora:wallclock retry backoff paces real goroutines; attempt count, not sleep length, decides the outcome
 			if backoff *= 2; backoff > maxBackoff {
 				backoff = maxBackoff
 			}

@@ -298,7 +298,7 @@ func (cn *ComputeNode) StartHeartbeats(d *fdetect.Detector, interval time.Durati
 	cn.hbWG.Add(1)
 	go func() {
 		defer cn.hbWG.Done()
-		t := time.NewTicker(interval)
+		t := time.NewTicker(interval) //pandora:wallclock heartbeats pace a live failure detector; chaos runs drive detection via explicit Report calls
 		defer t.Stop()
 		for {
 			select {

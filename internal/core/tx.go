@@ -264,7 +264,7 @@ func (tx *Tx) stallWait() error {
 	if tx.cn.crashed.Load() {
 		return tx.crash()
 	}
-	time.Sleep(tx.cn.stallPoll)
+	time.Sleep(tx.cn.stallPoll) //pandora:wallclock stall polling paces real goroutines; latency is measured on the VClock
 	return nil
 }
 

@@ -514,7 +514,7 @@ func TestStallOnConflictWaits(t *testing.T) {
 	select {
 	case err := <-done:
 		t.Fatalf("stalling writer finished while lock held: %v", err)
-	case <-time.After(20 * time.Millisecond):
+	case <-time.After(20 * time.Millisecond): //pandora:wallclock real-concurrency test: window proving the blocked path stays blocked
 	}
 	if err := tx1.Commit(); err != nil {
 		t.Fatal(err)
@@ -524,7 +524,7 @@ func TestStallOnConflictWaits(t *testing.T) {
 		if err != nil {
 			t.Fatalf("stalled writer failed after unlock: %v", err)
 		}
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //pandora:wallclock real-concurrency test: liveness timeout
 		t.Fatal("stalled writer never proceeded")
 	}
 	v, _ := readKey(t, co1, 0, 1)
@@ -649,12 +649,12 @@ func TestPauseBlocksNewTransactions(t *testing.T) {
 	select {
 	case <-started:
 		t.Fatal("Begin proceeded while paused")
-	case <-time.After(20 * time.Millisecond):
+	case <-time.After(20 * time.Millisecond): //pandora:wallclock real-concurrency test: window proving the blocked path stays blocked
 	}
 	cn.Resume()
 	select {
 	case <-started:
-	case <-time.After(2 * time.Second):
+	case <-time.After(2 * time.Second): //pandora:wallclock real-concurrency test: liveness timeout
 		t.Fatal("Begin never unblocked after Resume")
 	}
 }

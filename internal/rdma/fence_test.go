@@ -83,7 +83,7 @@ func TestRevokeFencesInFlightVerbs(t *testing.T) {
 			}
 		}(g)
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //pandora:wallclock real-concurrency test: lets the live hammer goroutines race the fence
 	f.Revoke(1, 0)
 	// Snapshot immediately after Revoke returns: the barrier guarantees
 	// every in-flight write has landed, so the byte must never change
@@ -92,7 +92,7 @@ func TestRevokeFencesInFlightVerbs(t *testing.T) {
 	if err := f.Endpoint(1).Read(Addr{Node: 1}, snap); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //pandora:wallclock real-concurrency test: lets the live hammer goroutines race the fence
 	after := make([]byte, 1)
 	if err := f.Endpoint(1).Read(Addr{Node: 1}, after); err != nil {
 		t.Fatal(err)
@@ -133,13 +133,13 @@ func TestSetCrashedFencesInFlightVerbs(t *testing.T) {
 			}
 		}(g)
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //pandora:wallclock real-concurrency test: lets the live hammer goroutines race the fence
 	f.SetCrashed(0, true)
 	snap := make([]byte, 1)
 	if err := f.Endpoint(1).Read(Addr{Node: 1}, snap); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //pandora:wallclock real-concurrency test: lets the live hammer goroutines race the fence
 	after := make([]byte, 1)
 	if err := f.Endpoint(1).Read(Addr{Node: 1}, after); err != nil {
 		t.Fatal(err)
@@ -240,7 +240,7 @@ func TestRevokeFencesParallelFanout(t *testing.T) {
 			}
 		}(g)
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //pandora:wallclock real-concurrency test: lets the live hammer goroutines race the fence
 	f.Revoke(1, 0)
 	// After Revoke returns, the barrier guarantees every in-flight verb
 	// to node 1 has landed; its memory must never change again, even
@@ -249,7 +249,7 @@ func TestRevokeFencesParallelFanout(t *testing.T) {
 	if err := f.Endpoint(1).Read(Addr{Node: 1}, snap); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //pandora:wallclock real-concurrency test: lets the live hammer goroutines race the fence
 	after := make([]byte, 1)
 	if err := f.Endpoint(1).Read(Addr{Node: 1}, after); err != nil {
 		t.Fatal(err)
@@ -300,7 +300,7 @@ func TestSetCrashedFencesParallelFanout(t *testing.T) {
 			}
 		}(g)
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //pandora:wallclock real-concurrency test: lets the live hammer goroutines race the fence
 	f.SetCrashed(0, true)
 	// All shards were fenced: no verb of the crashed issuer may land on
 	// ANY node after SetCrashed returns.
@@ -310,7 +310,7 @@ func TestSetCrashedFencesParallelFanout(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //pandora:wallclock real-concurrency test: lets the live hammer goroutines race the fence
 	for i := 1; i <= nodes; i++ {
 		after := make([]byte, 1)
 		if err := f.Endpoint(NodeID(i)).Read(Addr{Node: NodeID(i)}, after); err != nil {
@@ -394,7 +394,7 @@ func TestStalledLinkDoesNotBlockOtherQPs(t *testing.T) {
 
 	// The write to node 2 must land while its sibling is parked on the
 	// stalled link to node 1.
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(2 * time.Second) //pandora:wallclock real-concurrency test: bounds the poll loop below
 	got := make([]byte, 1)
 	for {
 		if err := f.Endpoint(2).Read(Addr{Node: 2}, got); err != nil {
@@ -403,10 +403,10 @@ func TestStalledLinkDoesNotBlockOtherQPs(t *testing.T) {
 		if got[0] == 7 {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //pandora:wallclock real-concurrency test: poll-loop deadline
 			t.Fatal("write to node 2 did not land while link 0->1 was stalled")
 		}
-		time.Sleep(100 * time.Microsecond)
+		time.Sleep(100 * time.Microsecond) //pandora:wallclock real-concurrency test: poll interval
 	}
 
 	select {

@@ -208,7 +208,7 @@ func (f *Fabric) stallWait(k linkKey, timeout time.Duration) error {
 	lt := &f.links
 	var deadline <-chan time.Time
 	if timeout > 0 {
-		t := time.NewTimer(timeout)
+		t := time.NewTimer(timeout) //pandora:wallclock stall deadlines bound real parked goroutines; seeded runs use heal events, not timeouts, to unblock
 		defer t.Stop()
 		deadline = t.C
 	}

@@ -77,7 +77,7 @@ func TestStallLinkParksUntilHeal(t *testing.T) {
 	select {
 	case err := <-done:
 		t.Fatalf("stalled write completed early: %v", err)
-	case <-time.After(5 * time.Millisecond):
+	case <-time.After(5 * time.Millisecond): //pandora:wallclock real-concurrency test: window proving the stalled verb stays parked
 	}
 
 	f.HealLink(0, 1)
@@ -86,7 +86,7 @@ func TestStallLinkParksUntilHeal(t *testing.T) {
 		if err != nil {
 			t.Fatalf("write after heal: %v", err)
 		}
-	case <-time.After(time.Second):
+	case <-time.After(time.Second): //pandora:wallclock real-concurrency test: liveness timeout for a parked verb
 		t.Fatal("stalled write never woke after heal")
 	}
 	// The healed verb executed: the payload landed.
@@ -134,14 +134,14 @@ func TestStallLinkUnblocksOnNodeTransitions(t *testing.T) {
 	f.StallLink(0, 1)
 	done := make(chan error, 1)
 	go func() { done <- f.Endpoint(0).Write(Addr{Node: 1, Region: 0}, []byte("x")) }()
-	time.Sleep(time.Millisecond)
+	time.Sleep(time.Millisecond) //pandora:wallclock real-concurrency test: lets the write park on the stalled link first
 	f.SetDown(1, true)
 	select {
 	case err := <-done:
 		if !errors.Is(err, ErrNodeDown) {
 			t.Fatalf("parked verb on dead target: err=%v, want ErrNodeDown", err)
 		}
-	case <-time.After(time.Second):
+	case <-time.After(time.Second): //pandora:wallclock real-concurrency test: liveness timeout for a parked verb
 		t.Fatal("parked verb not unblocked by target death")
 	}
 
@@ -150,14 +150,14 @@ func TestStallLinkUnblocksOnNodeTransitions(t *testing.T) {
 	f2.StallLink(0, 1)
 	done2 := make(chan error, 1)
 	go func() { done2 <- f2.Endpoint(0).Write(Addr{Node: 1, Region: 0}, []byte("x")) }()
-	time.Sleep(time.Millisecond)
+	time.Sleep(time.Millisecond) //pandora:wallclock real-concurrency test: lets the write park on the stalled link first
 	f2.SetCrashed(0, true)
 	select {
 	case err := <-done2:
 		if !errors.Is(err, ErrCrashed) {
 			t.Fatalf("parked verb of crashed issuer: err=%v, want ErrCrashed", err)
 		}
-	case <-time.After(time.Second):
+	case <-time.After(time.Second): //pandora:wallclock real-concurrency test: liveness timeout for a parked verb
 		t.Fatal("parked verb not unblocked by issuer crash")
 	}
 }

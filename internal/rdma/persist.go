@@ -94,6 +94,7 @@ func (f *Fabric) PowerFail(node NodeID) {
 	ns.down.Store(true)
 	ns.mu.Lock()
 	regions := make([]*Region, 0, len(ns.regions))
+	//pandora:unordered regions are disjoint address ranges; revert order is not observable
 	for _, r := range ns.regions {
 		regions = append(regions, r)
 	}

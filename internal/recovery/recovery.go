@@ -145,7 +145,7 @@ var DebugRollback func(coord kvlayout.CoordID, txID uint64, w kvlayout.LogWrite,
 // lock notification. Step (1), detection, already happened — ev came
 // from the FD.
 func (m *Manager) RecoverCompute(ev fdetect.Event) (Stats, error) {
-	start := time.Now()
+	start := time.Now() //pandora:wallclock Stats.WallTime is a host-side diagnostic; the protocol-visible latency is Stats.VTime
 	var stats Stats
 
 	// Step 2 — active-link termination (Cor1). Before touching any
@@ -177,7 +177,7 @@ func (m *Manager) RecoverCompute(ev fdetect.Event) (Stats, error) {
 	m.mu.Lock()
 	m.recovered[ev.Node] = true
 	m.mu.Unlock()
-	stats.WallTime = time.Since(start)
+	stats.WallTime = time.Since(start) //pandora:wallclock host-side diagnostic only
 	return stats, nil
 }
 

@@ -16,7 +16,7 @@ import (
 // multi-second cost the paper measures (~5 s per million keys on one
 // scanning thread).
 func (m *Manager) ScanRecoverCompute(ev fdetect.Event) (Stats, error) {
-	start := time.Now()
+	start := time.Now() //pandora:wallclock Stats.WallTime is a host-side diagnostic; the protocol-visible latency is Stats.VTime
 	var stats Stats
 
 	for _, ms := range m.cfg.Mems {
@@ -62,7 +62,7 @@ func (m *Manager) ScanRecoverCompute(ev fdetect.Event) (Stats, error) {
 		}
 	}
 	stats.VTime = clk.Now()
-	stats.WallTime = time.Since(start)
+	stats.WallTime = time.Since(start) //pandora:wallclock host-side diagnostic only
 
 	m.mu.Lock()
 	m.recovered[ev.Node] = true

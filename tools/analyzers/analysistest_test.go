@@ -1,0 +1,134 @@
+package analyzers
+
+// A miniature of golang.org/x/tools/go/analysis/analysistest (the
+// build container has no module proxy): each subdirectory of
+// testdata/src is parsed and type-checked as one package — stdlib
+// imports resolve through the source importer — then the analyzer
+// under test runs and its diagnostics are matched against the
+// fixture's `// want "regexp"` comments, line by line. Every expected
+// diagnostic must appear and every diagnostic must be expected.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runFixture type-checks testdata/src/<dir> and runs a over it,
+// comparing diagnostics against // want comments.
+func runFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(root, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", root)
+	}
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := conf.Check(dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", dir, err)
+	}
+
+	var diags []Diagnostic
+	pass := &Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		PkgPath:   dir,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	// Collect wants: file:line → regexps (consumed as they match).
+	type wantKey struct {
+		file string
+		line int
+	}
+	wantRx := regexp.MustCompile(`// want (".*")\s*$`)
+	strRx := regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := wantKey{filepath.Base(pos.Filename), pos.Line}
+				for _, sm := range strRx.FindAllStringSubmatch(m[1], -1) {
+					pat := strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(sm[1])
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, sm[1], err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	var unexpected []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := wantKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected, fmt.Sprintf("%s: unexpected diagnostic: %s", pos, d.Message))
+		}
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			unexpected = append(unexpected, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, rx))
+		}
+	}
+	if len(unexpected) > 0 {
+		sort.Strings(unexpected)
+		t.Errorf("%s on %s:\n%s", a.Name, dir, strings.Join(unexpected, "\n"))
+	}
+}

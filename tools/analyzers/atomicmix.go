@@ -1,0 +1,98 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicmix flags struct fields that are accessed both through
+// sync/atomic address-taking functions (atomic.LoadUint64(&s.f), ...)
+// and through plain loads or stores. A mixed field has no consistent
+// memory-ordering story: the plain access races the atomic one and the
+// race detector only catches it when a chaos schedule happens to
+// overlap the two. (Fields of the modern typed kinds — atomic.Uint64
+// etc. — cannot be mixed and are the preferred fix.)
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag struct fields accessed both via sync/atomic and plain loads/stores",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) error {
+	// Fields touched atomically: key = struct type + field name.
+	type fieldKey struct {
+		typ  *types.Named
+		name string
+	}
+	atomicFields := make(map[fieldKey]bool)
+	// Selector expressions used as &arg of a sync/atomic call, so the
+	// plain-access scan can skip them.
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+
+	// fieldOf resolves sel to (named struct type, field name), or ok=false.
+	fieldOf := func(sel *ast.SelectorExpr) (fieldKey, bool) {
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return fieldKey{}, false
+		}
+		n := namedType(s.Recv())
+		if n == nil {
+			return fieldKey{}, false
+		}
+		return fieldKey{typ: n, name: sel.Sel.Name}, true
+	}
+
+	for _, file := range pass.Files {
+		if pass.isTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, _ := pass.pkgFuncCall(call); pkg != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ue.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				inAtomicCall[sel] = true
+				if k, ok := fieldOf(sel); ok {
+					atomicFields[k] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		if pass.isTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			k, ok := fieldOf(sel)
+			if !ok || !atomicFields[k] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "atomicmix",
+				"field %s.%s is accessed with sync/atomic elsewhere; this plain access races it (use the atomic accessors, or an atomic.%s-style typed field)",
+				k.typ.Obj().Name(), k.name, "Uint64")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// Batchescape protects the zero-alloc contract of the pooled
+// rdma.OpBatch (PR 2): every *Op handed out by Add/AddRead/... and
+// every scratch slice from Bytes is backed by the batch's arena and is
+// recycled at Put. A pointer that outlives the batch corrupts a later,
+// unrelated transaction's ops.
+//
+// For every function that *owns* a batch (calls GetBatch locally — the
+// only pattern under which Put happens in the same frame), the pass
+// flags batch-derived values that escape the frame:
+//
+//   - stored into a struct field (x.f = op),
+//   - returned from the function,
+//   - captured by a goroutine's function literal.
+//
+// Values derived from a batch received as a parameter are exempt: the
+// caller owns the batch lifetime there, and returning a freshly added
+// *Op to the owner is the normal builder-helper shape.
+var Batchescape = &Analyzer{
+	Name: "batchescape",
+	Doc:  "pooled OpBatch-derived pointers must not outlive the batch",
+	Run:  runBatchescape,
+}
+
+// batchDeriveMethods are the OpBatch methods returning arena-backed
+// values.
+var batchDeriveMethods = map[string]bool{
+	"Add": true, "AddRead": true, "AddWrite": true, "AddCAS": true,
+	"AddFAA": true, "AddFlush": true, "Op": true, "Ops": true, "Bytes": true,
+}
+
+func runBatchescape(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Tests poke the arena/recycling machinery on purpose.
+		if pass.isTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, body := funcOf(n)
+			if body == nil {
+				return true
+			}
+			pass.checkBatchFunc(fn, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// funcOf returns the node and body if n declares a function.
+func funcOf(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n, n.Body
+	}
+	return nil, nil
+}
+
+func (p *Pass) checkBatchFunc(fn ast.Node, body *ast.BlockStmt) {
+	// Owned batches: locals assigned from GetBatch().
+	owned := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || calleeName(call) != "GetBatch" {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				owned[id.Name] = true
+			}
+		}
+		return true
+	})
+	if len(owned) == 0 {
+		return
+	}
+
+	// derived: locals holding arena-backed values from an owned batch.
+	derived := make(map[string]bool)
+	isDeriveCall := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !batchDeriveMethods[sel.Sel.Name] {
+			return false
+		}
+		if !isNamed(p.recvType(call), "OpBatch") {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && owned[id.Name]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) || !isDeriveCall(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				derived[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	// isDerivedExpr reports whether e itself aliases batch arena memory:
+	// a derived local, a derive call, or a selector/index/slice rooted
+	// at one (op.Buf, ops[0], buf[2:4]). Values computed FROM derived
+	// data (len(op.Buf)) do not alias and are fine.
+	var isDerivedExpr func(e ast.Expr) bool
+	isDerivedExpr = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return isDerivedExpr(e.X)
+		case *ast.Ident:
+			return derived[e.Name]
+		case *ast.SelectorExpr:
+			return isDerivedExpr(e.X)
+		case *ast.IndexExpr:
+			return isDerivedExpr(e.X)
+		case *ast.SliceExpr:
+			return isDerivedExpr(e.X)
+		case *ast.UnaryExpr:
+			return isDerivedExpr(e.X)
+		case *ast.CallExpr:
+			return isDeriveCall(e)
+		}
+		return false
+	}
+	// lhsBaseLocalToBatch reports whether a field-store target is itself
+	// batch-scoped (op.Buf = b.Bytes(n) keeps everything in the arena).
+	lhsBaseLocalToBatch := func(lhs *ast.SelectorExpr) bool {
+		base := lhs.X
+		for {
+			switch b := base.(type) {
+			case *ast.SelectorExpr:
+				base = b.X
+			case *ast.IndexExpr:
+				base = b.X
+			default:
+				if id, ok := base.(*ast.Ident); ok {
+					return derived[id.Name] || owned[id.Name]
+				}
+				return false
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || lhsBaseLocalToBatch(sel) {
+					continue
+				}
+				if i < len(n.Rhs) && isDerivedExpr(n.Rhs[i]) {
+					p.Reportf(n.Pos(), "batchescape",
+						"value derived from a pooled OpBatch is stored to a field; it is recycled at Put and will be overwritten by an unrelated batch (allocate it plainly instead)")
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isDerivedExpr(res) {
+					p.Reportf(n.Pos(), "batchescape",
+						"value derived from a pooled OpBatch is returned; the batch is Put in this function, so the caller would see recycled memory")
+				}
+			}
+		case *ast.GoStmt:
+			if containsNode(n.Call, func(m ast.Node) bool {
+				if e, ok := m.(ast.Expr); ok && isDeriveCall(e) {
+					return true
+				}
+				id, ok := m.(*ast.Ident)
+				return ok && derived[id.Name]
+			}) {
+				p.Reportf(n.Pos(), "batchescape",
+					"value derived from a pooled OpBatch is captured by a goroutine; the goroutine can outlive Put and race the pool")
+			}
+		}
+		return true
+	})
+}

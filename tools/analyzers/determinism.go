@@ -1,0 +1,170 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the virtual-time contract: inside the packages
+// that run on rdma.VClock, a fixed seed must produce a bit-identical
+// run, so nothing may consult the wall clock, the global math/rand
+// PRNG, or Go's randomised map iteration order in a way that changes
+// observable output.
+//
+// Escapes: //pandora:wallclock on (or directly above) the line permits
+// a clock/PRNG call that is genuinely host-side (real-time pacing of a
+// live workload, operator-facing wall-time metrics); //pandora:unordered
+// permits a map iteration whose effects are order-independent.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global math/rand, and order-dependent map iteration in virtual-time packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time package entry points that read or wait on
+// the host clock. time.Duration arithmetic and constants stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand constructors that produce an
+// explicitly seeded generator — the only sanctioned way to get
+// randomness in a virtual-time package.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !IsVirtualTimePkg(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pkg, fn := pass.pkgFuncCall(n)
+				switch {
+				case pkg == "time" && wallClockFuncs[fn]:
+					if !pass.Allowed(file, n.Pos(), DirWallclock) {
+						pass.Reportf(n.Pos(), "determinism",
+							"time.%s reads the wall clock in virtual-time package %s; use the rdma.VClock, or annotate //pandora:wallclock with a justification", fn, pass.Pkg.Name())
+					}
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && !seededRandFuncs[fn]:
+					if !pass.Allowed(file, n.Pos(), DirWallclock) {
+						pass.Reportf(n.Pos(), "determinism",
+							"rand.%s uses the global PRNG, nondeterministic under concurrency; draw from a seeded *rand.Rand owned by the run", fn)
+					}
+				}
+			case *ast.RangeStmt:
+				pass.checkMapRange(file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags `for ... := range m` over a map whose body has
+// order-visible effects: appending to a variable declared outside the
+// loop, sending on a channel, or posting fabric verbs. The canonical
+// fix — collecting the keys and sorting before use — is recognised and
+// exempt: a body that only appends the key variable is allowed when the
+// same function later calls a sort function.
+func (p *Pass) checkMapRange(file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := p.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+		return
+	}
+	if p.Allowed(file, rng.Pos(), DirUnordered) {
+		return
+	}
+	keyName := ""
+	if id, ok := rng.Key.(*ast.Ident); ok {
+		keyName = id.Name
+	}
+	sortedLater := p.sortCallAfter(file, rng)
+	var effects []ast.Node
+	keyCollectOnly := true
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			effects = append(effects, n)
+			keyCollectOnly = false
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || calleeName(call) != "append" {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && p.declaredOutside(id, rng) {
+					effects = append(effects, n)
+					// ids = append(ids, key): pure key collection.
+					if !(len(call.Args) == 2 && isIdentNamed(call.Args[1], keyName)) {
+						keyCollectOnly = false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isNamed(p.recvType(n), "Endpoint") {
+				effects = append(effects, n)
+				keyCollectOnly = false
+			}
+		}
+		return true
+	})
+	if len(effects) == 0 {
+		return
+	}
+	if keyCollectOnly && sortedLater {
+		return
+	}
+	p.Reportf(rng.Pos(), "determinism",
+		"iteration over map is randomly ordered and the body has order-visible effects; sort the keys first, or annotate //pandora:unordered with a justification")
+}
+
+// declaredOutside reports whether id resolves to an object declared
+// outside the given node's span (i.e. the append target outlives the
+// loop body).
+func (p *Pass) declaredOutside(id *ast.Ident, within ast.Node) bool {
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = p.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < within.Pos() || obj.Pos() > within.End()
+}
+
+// sortCallAfter reports whether a sort/slices ordering call appears in
+// the file after the given node — the tail half of the
+// collect-keys-then-sort idiom.
+func (p *Pass) sortCallAfter(file *ast.File, after ast.Node) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after.End() {
+			return true
+		}
+		if pkg, fn := p.pkgFuncCall(call); pkg == "sort" || (pkg == "slices" && (fn == "Sort" || fn == "SortFunc" || fn == "SortStableFunc")) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && name != "" && id.Name == name
+}

@@ -1,0 +1,346 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Lockpair enforces the lock-registration discipline in internal/core:
+// once a lock-acquiring CAS has been posted, the transaction's write
+// set must learn about the lock before any further fault-able fabric
+// verb fires, so that every failure path (abort, crash recovery,
+// validation) sees and releases it. This is exactly the bug class PR 1
+// fixed by hand: a link fault injected between the lock CAS and the
+// write-set registration leaked the lock until PILL stealing reclaimed
+// it.
+//
+// The pass is flow-insensitive and works in source order over each
+// function body. Events:
+//
+//   - LOCK: a fabric post that can take a lock — ep.CAS(..., ...,
+//     tx.lockWord()) directly, or ep.Do/DoSeq(...) where an argument
+//     names a lock op (identifier matching (?i)lock|cas, or a local
+//     whose Op literal's Swap field is built from lockWord()).
+//   - REG: a write-set registration — `tx.writes = append(tx.writes,
+//     ...)`, a call to failLocked (the lock hand-over used by error
+//     paths), or `w.locked = ...` (marking an already-registered entry
+//     as holding its lock).
+//   - VERB: any other Endpoint verb call (Read/Write/CAS/FAA/Do/
+//     DoSeq/Flush).
+//
+// Rules:
+//
+//	R1 — every LOCK must be followed by a REG somewhere later in the
+//	     function.
+//	R2 — every VERB between a LOCK and its first following REG must be
+//	     guarded: its nearest enclosing if-statement must contain a REG
+//	     (the `if err := ep.Read(...); err != nil { return
+//	     tx.failLocked(...) }` idiom).
+//	R3 — a multi-op Do/DoSeq carrying a lock CAS (the one-doorbell
+//	     CAS+READ shape) must handle its own error path: its nearest
+//	     enclosing if-statement must contain a REG. Single-op posts are
+//	     exempt — link admission happens before execution, so an
+//	     errored single CAS never took the lock.
+var Lockpair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "lock-acquiring CAS must register in the write set before further fabric verbs",
+	Run:  runLockpair,
+}
+
+// endpointVerbs are the fabric verbs on rdma.Endpoint.
+var endpointVerbs = map[string]bool{
+	"Read": true, "Write": true, "CAS": true, "FAA": true,
+	"Flush": true, "Do": true, "DoSeq": true,
+}
+
+func runLockpair(pass *Pass) error {
+	if !IsCorePkg(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Tests deliberately plant stray locks from fake coordinators to
+		// exercise PILL stealing; the registration discipline applies to
+		// production code.
+		if pass.isTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pass.checkLockFunc(fd)
+		}
+	}
+	return nil
+}
+
+type lockEvent struct {
+	node    ast.Node
+	kind    int  // evLock, evReg, evVerb
+	multi   bool // LOCK: multi-op doorbell post
+	guarded bool // VERB/LOCK: nearest enclosing if contains a REG
+	cond    bool // REG: inside an error-guard if — covers only the
+	// error path, so it cannot terminate a lock's window
+}
+
+const (
+	evLock = iota
+	evReg
+	evVerb
+)
+
+func (p *Pass) checkLockFunc(fd *ast.FuncDecl) {
+	lockVars := p.lockOpVars(fd)
+
+	var events []lockEvent
+	// ifStack tracks enclosing if-statements during the walk so each
+	// event can be tagged with whether its error path registers and
+	// whether a registration is merely an error-path guard.
+	type ifFrame struct {
+		stmt     *ast.IfStmt
+		errGuard bool
+	}
+	var ifStack []ifFrame
+	inErrGuard := func() bool {
+		for _, fr := range ifStack {
+			if fr.errGuard {
+				return true
+			}
+		}
+		return false
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.IfStmt:
+				ifStack = append(ifStack, ifFrame{stmt: m, errGuard: p.condTestsError(m.Cond)})
+				if m.Init != nil {
+					walk(m.Init)
+				}
+				walk(m.Cond)
+				walk(m.Body)
+				ifStack = ifStack[:len(ifStack)-1]
+				if m.Else != nil {
+					walk(m.Else)
+				}
+				return false
+			case *ast.AssignStmt:
+				if p.isRegAssign(m) {
+					events = append(events, lockEvent{node: m, kind: evReg, cond: inErrGuard()})
+				}
+				return true
+			case *ast.CallExpr:
+				if calleeName(m) == "failLocked" {
+					events = append(events, lockEvent{node: m, kind: evReg, cond: inErrGuard()})
+					return true
+				}
+				if !isNamed(p.recvType(m), "Endpoint") || !endpointVerbs[calleeName(m)] {
+					return true
+				}
+				guarded := len(ifStack) > 0 && p.ifRegisters(ifStack[len(ifStack)-1].stmt)
+				if isLock, multi := p.isLockPost(m, lockVars); isLock {
+					events = append(events, lockEvent{node: m, kind: evLock, multi: multi, guarded: guarded})
+				} else {
+					events = append(events, lockEvent{node: m, kind: evVerb, guarded: guarded})
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+
+	for i, ev := range events {
+		if ev.kind != evLock {
+			continue
+		}
+		if ev.multi && !ev.guarded {
+			p.Reportf(ev.node.Pos(), "lockpair",
+				"multi-op doorbell posts a lock CAS but its error path does not register the lock (check Swapped / call failLocked): a fault on a later op in the doorbell leaks the lock (PR 1 class)")
+			continue
+		}
+		reg := -1
+		for j := i + 1; j < len(events); j++ {
+			if events[j].kind == evReg && !events[j].cond {
+				reg = j
+				break
+			}
+		}
+		if reg < 0 {
+			p.Reportf(ev.node.Pos(), "lockpair",
+				"lock-acquiring CAS is never registered in the write set in this function; every failure path after it must be able to release the lock")
+			continue
+		}
+		for j := i + 1; j < reg; j++ {
+			if events[j].kind == evVerb && !events[j].guarded {
+				p.Reportf(events[j].node.Pos(), "lockpair",
+					"fabric verb fires between a lock-acquiring CAS and its write-set registration without a registering error path; a fault here leaks the lock (PR 1 class)")
+			}
+		}
+	}
+}
+
+// isRegAssign matches the two registration assignment shapes:
+// `x.writes = append(x.writes, ...)` and `w.locked = ...`.
+func (p *Pass) isRegAssign(as *ast.AssignStmt) bool {
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		switch sel.Sel.Name {
+		case "locked":
+			return true
+		case "writes":
+			if i < len(as.Rhs) {
+				if call, ok := as.Rhs[i].(*ast.CallExpr); ok && calleeName(call) == "append" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condTestsError reports whether an if condition inspects an
+// error-typed value (`err != nil`, `errors.Is(...)`, ...): the branch
+// is an error guard, so a registration inside it covers only the
+// failure path.
+func (p *Pass) condTestsError(cond ast.Expr) bool {
+	return containsNode(cond, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return false
+		}
+		tv, ok := p.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		n2 := namedType(tv.Type)
+		return n2 != nil && n2.Obj().Name() == "error" && n2.Obj().Pkg() == nil
+	})
+}
+
+// ifRegisters reports whether the if-statement's subtree contains a
+// registration event.
+func (p *Pass) ifRegisters(ifs *ast.IfStmt) bool {
+	return containsNode(ifs, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			return p.isRegAssign(n)
+		case *ast.CallExpr:
+			return calleeName(n) == "failLocked"
+		}
+		return false
+	})
+}
+
+// lockOpVars collects names of local variables bound to Op values whose
+// Swap field is built from lockWord(), so Do(lockOp, ...) posts are
+// recognised even when the CAS literal was built earlier.
+func (p *Pass) lockOpVars(fd *ast.FuncDecl) map[string]bool {
+	vars := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if !exprBuildsLockOp(rhs) {
+				continue
+			}
+			switch lhs := as.Lhs[i].(type) {
+			case *ast.Ident:
+				vars[lhs.Name] = true
+			case *ast.StarExpr:
+				if id, ok := lhs.X.(*ast.Ident); ok {
+					vars[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// exprBuildsLockOp reports whether e is (a pointer to) an Op composite
+// literal whose Swap field calls lockWord()/LockWord().
+func exprBuildsLockOp(e ast.Expr) bool {
+	if ue, ok := e.(*ast.UnaryExpr); ok {
+		e = ue.X
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Swap" {
+			return containsNode(kv.Value, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				name := calleeName(call)
+				return name == "lockWord" || name == "LockWord"
+			})
+		}
+	}
+	return false
+}
+
+// isLockPost classifies an Endpoint verb call as a lock-acquiring post
+// and reports whether it is a multi-op doorbell.
+func (p *Pass) isLockPost(call *ast.CallExpr, lockVars map[string]bool) (isLock, multi bool) {
+	switch calleeName(call) {
+	case "CAS":
+		// ep.CAS(addr, expect, swap): lock-acquiring iff swap is built
+		// from lockWord().
+		if len(call.Args) == 3 && containsNode(call.Args[2], func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			name := calleeName(c)
+			return name == "lockWord" || name == "LockWord"
+		}) {
+			return true, false
+		}
+	case "Do", "DoSeq":
+		for _, arg := range call.Args {
+			if argNamesLockOp(arg, lockVars) {
+				return true, len(call.Args) > 1 || call.Ellipsis.IsValid()
+			}
+		}
+	}
+	return false, false
+}
+
+// argNamesLockOp reports whether the Do/DoSeq argument names a lock op:
+// a local tracked in lockVars, or an identifier/selector whose name
+// mentions lock or CAS (lockOp, pendingCAS, ...).
+func argNamesLockOp(arg ast.Expr, lockVars map[string]bool) bool {
+	name := ""
+	switch a := arg.(type) {
+	case *ast.Ident:
+		name = a.Name
+	case *ast.SelectorExpr:
+		name = a.Sel.Name
+	default:
+		return false
+	}
+	if lockVars[name] {
+		return true
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "lock") || strings.Contains(lower, "cas")
+}

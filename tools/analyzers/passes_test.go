@@ -1,0 +1,43 @@
+package analyzers
+
+import "testing"
+
+// Each fixture contains both violating shapes (with // want comments)
+// and conforming shapes (which must produce no diagnostics); runFixture
+// fails on any mismatch in either direction, so these tests demonstrate
+// that each pass detects its bug class and stays quiet on the sanctioned
+// idioms.
+
+func TestDeterminism(t *testing.T) { runFixture(t, Determinism, "chaos") }
+
+// TestDeterminismScope: the pass must not fire outside the virtual-time
+// packages at all (the same wall-clock shapes are legal elsewhere).
+func TestDeterminismScope(t *testing.T) {
+	if IsVirtualTimePkg("pandora/internal/litmus") {
+		t.Fatal("litmus must not be a virtual-time package")
+	}
+	for _, p := range []string{
+		"pandora/internal/core",
+		"pandora/internal/rdma",
+		"pandora/internal/recovery",
+		"pandora/internal/chaos",
+		"pandora/internal/core [pandora/internal/core.test]",
+		"pandora/internal/rdma_test [pandora/internal/rdma.test]",
+	} {
+		if !IsVirtualTimePkg(p) {
+			t.Fatalf("%s must be a virtual-time package", p)
+		}
+	}
+}
+
+func TestLockword(t *testing.T) { runFixture(t, Lockword, "lockword") }
+
+// TestLockwordExemptsKVLayout: the identical shapes inside the owning
+// package are legal — that is the point of single ownership.
+func TestLockwordExemptsKVLayout(t *testing.T) { runFixture(t, Lockword, "kvlayout") }
+
+func TestLockpair(t *testing.T) { runFixture(t, Lockpair, "core") }
+
+func TestBatchescape(t *testing.T) { runFixture(t, Batchescape, "batchescape") }
+
+func TestAtomicmix(t *testing.T) { runFixture(t, Atomicmix, "atomicmix") }

@@ -1,0 +1,28 @@
+// Fixture for the atomicmix pass: a struct field accessed both through
+// sync/atomic and with plain loads/stores.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	total uint64 // only ever plain: fine
+	seq   uint64 // only ever atomic: fine
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.seq, 1)
+}
+
+func (c *counters) snapshot() (uint64, uint64, uint64) {
+	h := c.hits // want "accessed with sync/atomic elsewhere"
+	t := c.total
+	s := atomic.LoadUint64(&c.seq)
+	return h, t, s
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want "accessed with sync/atomic elsewhere"
+	c.total = 0
+}

@@ -1,0 +1,74 @@
+// Fixture for the determinism pass: wall-clock and global-PRNG calls
+// in a virtual-time package, the //pandora:wallclock escape path, and
+// order-dependent map iteration with the collect-then-sort exemption.
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	select {
+	case <-time.After(time.Second): // want "time.After reads the wall clock"
+	default:
+	}
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// pacing is a host-side rate limiter for a live workload; real sleep is
+// the point.
+func pacing(gap time.Duration) {
+	time.Sleep(gap) //pandora:wallclock real-time pacing of the live workload
+	//pandora:wallclock directive on the preceding line also suppresses
+	time.Sleep(gap)
+}
+
+func globalPRNG() int {
+	rand.Shuffle(8, func(i, j int) {}) // want "rand.Shuffle uses the global PRNG"
+	return rand.Intn(10)               // want "rand.Intn uses the global PRNG"
+}
+
+func seededPRNG(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor: allowed
+	return rng.Intn(10)                   // method on a local Rand: allowed
+}
+
+func mapOrder(m map[int]string, sink chan<- string) []string {
+	var out []string
+	for _, v := range m { // want "iteration over map is randomly ordered"
+		out = append(out, v)
+	}
+	for _, v := range m { // want "iteration over map is randomly ordered"
+		sink <- v
+	}
+	//pandora:unordered out is re-sorted by the caller
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// collectThenSort is the canonical deterministic idiom and must pass.
+func collectThenSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// localAppend writes only loop-local state: no order-visible effect.
+func localAppend(m map[int]string) int {
+	total := 0
+	for _, v := range m {
+		parts := []string{}
+		parts = append(parts, v)
+		total += len(parts)
+	}
+	return total
+}

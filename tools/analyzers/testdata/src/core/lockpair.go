@@ -1,0 +1,113 @@
+// Fixture for the lockpair pass: a self-contained miniature of the
+// internal/core locking shapes. The leaky functions reproduce the
+// exact bug class PR 1 fixed by hand — a fault between the lock CAS
+// and the write-set registration leaked the lock.
+package core
+
+// Endpoint mirrors rdma.Endpoint's verb surface (matched by type name).
+type Endpoint struct{}
+
+func (ep *Endpoint) Read(addr uint64, buf []byte) error              { return nil }
+func (ep *Endpoint) Write(addr uint64, buf []byte) error             { return nil }
+func (ep *Endpoint) CAS(addr, old, new uint64) (uint64, bool, error) { return 0, false, nil }
+func (ep *Endpoint) Do(ops ...*Op) error                             { return nil }
+func (ep *Endpoint) DoSeq(ops ...*Op) error                          { return nil }
+
+// Op mirrors rdma.Op.
+type Op struct {
+	Kind    int
+	Addr    uint64
+	Expect  uint64
+	Swap    uint64
+	Buf     []byte
+	Swapped bool
+}
+
+type writeEnt struct {
+	locked bool
+}
+
+type Tx struct {
+	ep     *Endpoint
+	writes []*writeEnt
+}
+
+func (tx *Tx) lockWord() uint64 { return 1 }
+
+func (tx *Tx) failLocked(ent *writeEnt, err error) error {
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
+	return err
+}
+
+// goodLock is the fixed PR 1 shape: the doorbell's error path hands the
+// possibly-taken lock to failLocked, later verbs are guarded, and the
+// entry is registered before the next unguarded verb.
+func (tx *Tx) goodLock(addr uint64, buf []byte) error {
+	ent := &writeEnt{}
+	lockOp := &Op{Swap: tx.lockWord()}
+	readOp := &Op{Buf: buf}
+	if err := tx.ep.Do(lockOp, readOp); err != nil {
+		if lockOp.Swapped {
+			return tx.failLocked(ent, err)
+		}
+		return err
+	}
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
+	if err := tx.ep.Write(addr+8, buf); err != nil {
+		return tx.failLocked(ent, err)
+	}
+	return nil
+}
+
+// goodSingleCAS: a single-op CAS post may return before registration —
+// link admission precedes execution, so an errored single CAS never
+// took the lock.
+func (tx *Tx) goodSingleCAS(addr, old uint64) error {
+	ent := &writeEnt{}
+	if _, stole, err := tx.ep.CAS(addr, old, tx.lockWord()); err != nil || !stole {
+		return err
+	}
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
+	return nil
+}
+
+// leakyDoorbell drops the doorbell's error without consulting Swapped:
+// the CAS may have taken the lock while the READ faulted.
+func (tx *Tx) leakyDoorbell(buf []byte) error {
+	ent := &writeEnt{}
+	lockOp := &Op{Swap: tx.lockWord()}
+	readOp := &Op{Buf: buf}
+	if err := tx.ep.Do(lockOp, readOp); err != nil { // want "error path does not register the lock"
+		return err
+	}
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
+	return nil
+}
+
+// leakyVerbBetween registers too late: an unguarded verb fires while
+// the lock is held but unknown to the write set.
+func (tx *Tx) leakyVerbBetween(addr uint64, buf []byte) error {
+	ent := &writeEnt{}
+	lockOp := &Op{Swap: tx.lockWord()}
+	readOp := &Op{Buf: buf}
+	if err := tx.ep.Do(lockOp, readOp); err != nil {
+		if lockOp.Swapped {
+			return tx.failLocked(ent, err)
+		}
+		return err
+	}
+	_ = tx.ep.Write(addr+8, buf) // want "fabric verb fires between a lock-acquiring CAS and its write-set registration"
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
+	return nil
+}
+
+// leakyNeverRegistered takes a lock and forgets it entirely.
+func (tx *Tx) leakyNeverRegistered(addr, old uint64) error {
+	_, _, err := tx.ep.CAS(addr, old, tx.lockWord()) // want "never registered in the write set"
+	return err
+}

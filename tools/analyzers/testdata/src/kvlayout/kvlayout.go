@@ -1,0 +1,15 @@
+// Fixture proving the lockword pass exempts the owning package: these
+// are the same shapes flagged in testdata/src/lockword, legal here.
+package kvlayout
+
+type CoordID uint16
+
+const lockedFlag = uint64(1) << 63
+
+func LockWord(owner CoordID, tag uint32) uint64 {
+	return lockedFlag | uint64(owner)<<32 | uint64(tag)
+}
+
+func IsLocked(word uint64) bool { return word&lockedFlag != 0 }
+
+func LockOwner(word uint64) CoordID { return CoordID(word >> 32) }

@@ -30,6 +30,8 @@ test:
 
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench . -benchtime 100x ./internal/rdma/
+	$(GO) test -run 'TestHitPathZeroAlloc' ./internal/cache/
+	$(GO) run ./cmd/pandora-bench -experiment readcache -quick -json $(BIN)/BENCH_readcache.json
 
 chaos-smoke:
 	$(GO) test -race -short ./internal/chaos/

@@ -8,6 +8,7 @@ package pandora_test
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -104,16 +105,36 @@ func TestChaosCounterInvariant(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	// Audit from the survivor.
+	// Audit from the survivor. The read-and-commit loop retries
+	// validation aborts: stale read-cache entries are rejected (and
+	// invalidated) at commit, and only a committed snapshot is judged.
 	s := c.Session(1, 0)
-	tx := s.Begin()
+	vals := make([]int64, keys)
+	for attempt := 0; ; attempt++ {
+		tx := s.Begin()
+		var rerr error
+		for k := pandora.Key(0); k < keys; k++ {
+			v, err := tx.Read("ctr", k)
+			if err != nil {
+				rerr = fmt.Errorf("read %d: %w", k, err)
+				break
+			}
+			vals[k] = int64(binary.LittleEndian.Uint64(v))
+		}
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		cerr := tx.Commit()
+		if cerr == nil {
+			break
+		}
+		if !pandora.IsAborted(cerr) || attempt >= 8 {
+			t.Fatal(cerr)
+		}
+	}
 	var totalAcked, totalVal int64
 	for k := pandora.Key(0); k < keys; k++ {
-		v, err := tx.Read("ctr", k)
-		if err != nil {
-			t.Fatalf("read %d: %v", k, err)
-		}
-		val := int64(binary.LittleEndian.Uint64(v))
+		val := vals[k]
 		lo := acked[k].Load()
 		hi := lo + unknown[k].Load()
 		if val < lo || val > hi {
@@ -121,9 +142,6 @@ func TestChaosCounterInvariant(t *testing.T) {
 		}
 		totalAcked += lo
 		totalVal += val
-	}
-	if err := tx.Commit(); err != nil {
-		t.Fatal(err)
 	}
 	if totalAcked == 0 {
 		t.Fatal("chaos run committed nothing")

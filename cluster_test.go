@@ -26,6 +26,28 @@ func u64(v uint64) []byte {
 	return b
 }
 
+// readValidated reads one key in a committed read-only transaction,
+// retrying validation aborts: a stale read-cache hit is rejected (and
+// invalidated) at commit, so the retry observes the committed state.
+func readValidated(t testing.TB, s *pandora.Session, table string, key pandora.Key) []byte {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		tx := s.Begin()
+		v, err := tx.Read(table, key)
+		if err != nil {
+			_ = tx.Abort()
+			t.Fatal(err)
+		}
+		cerr := tx.Commit()
+		if cerr == nil {
+			return v
+		}
+		if !pandora.IsAborted(cerr) || attempt >= 3 {
+			t.Fatal(cerr)
+		}
+	}
+}
+
 func newLoaded(t testing.TB, cfg pandora.Config, n int) *pandora.Cluster {
 	t.Helper()
 	c, err := pandora.New(cfg)
@@ -133,9 +155,7 @@ func TestUpdateRetries(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	tx := c.Session(0, 0).Begin()
-	v, _ := tx.Read("kv", 1)
-	_ = tx.Commit()
+	v := readValidated(t, c.Session(0, 0), "kv", 1)
 	if got := binary.LittleEndian.Uint64(v); got != uint64(10+workers*increments) {
 		t.Fatalf("counter = %d, want %d", got, 10+workers*increments)
 	}
@@ -562,12 +582,7 @@ func TestLossyTransportPreservesCorrectness(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	tx := c.Session(0, 0).Begin()
-	v, err := tx.Read("kv", 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_ = tx.Commit()
+	v := readValidated(t, c.Session(0, 0), "kv", 1)
 	if got := binary.LittleEndian.Uint64(v); got != 10+400 {
 		t.Fatalf("counter = %d under lossy transport, want 410", got)
 	}

@@ -30,8 +30,9 @@ func main() {
 // benchMain holds main's body so that deferred profile writers run even
 // when an experiment fails (os.Exit skips defers).
 func benchMain() int {
-	experiment := flag.String("experiment", "all", "experiment id: all, table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, scan, tradrec, tradss, distfd, persist")
+	experiment := flag.String("experiment", "all", "experiment id: all, table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, scan, tradrec, tradss, distfd, persist, readcache")
 	quick := flag.Bool("quick", false, "run at CI scale instead of full scale")
+	jsonOut := flag.String("json", "", "also write machine-readable results of JSON-capable experiments (readcache) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -70,10 +71,11 @@ func benchMain() int {
 	ids := strings.Split(*experiment, ",")
 	if *experiment == "all" {
 		ids = []string{"table1", "table2", "tradrec", "scan", "tradss", "fig6", "fig7",
-			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "distfd", "persist"}
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "distfd", "persist",
+			"readcache"}
 	}
 	for _, id := range ids {
-		if err := run(id, s, litmusIters, steadyTx); err != nil {
+		if err := run(id, s, litmusIters, steadyTx, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			return 1
 		}
@@ -101,7 +103,7 @@ func section(id, paper string) {
 	fmt.Printf("\n===== %s (%s) =====\n", id, paper)
 }
 
-func run(id string, s bench.Scale, litmusIters, steadyTx int) error {
+func run(id string, s bench.Scale, litmusIters, steadyTx int, jsonOut string) error {
 	start := time.Now()
 	defer func() { fmt.Printf("[%s took %v]\n", id, time.Since(start).Round(time.Millisecond)) }()
 	switch id {
@@ -197,6 +199,23 @@ func run(id string, s bench.Scale, litmusIters, steadyTx int) error {
 			return err
 		}
 		fmt.Print(r)
+	case "readcache":
+		section(id, "Validated read cache: zipfian read latency vs no-cache baseline")
+		r, err := bench.ReadCache(s, steadyTx*4)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		if jsonOut != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("[wrote %s]\n", jsonOut)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -116,6 +116,7 @@ func (c *Cluster) RestartCompute(i int) error {
 		StallOnConflict: c.cfg.StallOnConflict,
 		Persist:         c.cfg.Persistence,
 		VerbTimeout:     c.cfg.VerbTimeout,
+		ReadCacheSize:   c.cfg.ReadCacheSize,
 	}
 	ring := c.mgr.Ring()
 	cn := core.NewComputeNode(c.fab, nodeID, ring, c.schema, ids, opts)

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+func TestReadCacheQuick(t *testing.T) {
+	s := Quick()
+	r, err := ReadCache(s, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if r.HitRate < 0.8 {
+		t.Errorf("hit rate %.2f, want >= 0.80", r.HitRate)
+	}
+	if r.Speedup < 2 {
+		t.Errorf("p50 speedup %.1f×, want >= 2× (cached p50=%v, baseline p50=%v)",
+			r.Speedup, r.P50Cached, r.P50Baseline)
+	}
+	if r.P50Baseline == 0 {
+		t.Error("baseline p50 is zero — latency model not attached?")
+	}
+	// A single-worker read-only pass has no concurrent writers, so no
+	// cached version can go stale.
+	if r.AbortsCached != 0 || r.AbortsBaseline != 0 {
+		t.Errorf("aborts cached=%d baseline=%d, want 0", r.AbortsCached, r.AbortsBaseline)
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Errorf("JSON: %v", err)
+	}
+}

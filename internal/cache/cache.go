@@ -1,0 +1,215 @@
+// Package cache implements the per-coordinator validated read cache:
+// a bounded map from (table, key) to the slot location, version and
+// value last observed by a successful one-sided read. A hit serves the
+// value from compute-side memory and registers the cached version in
+// the transaction's read set; the OCC validation phase re-reads every
+// read-set version before the commit decision, so a stale hit can only
+// ever cost an abort, never a consistency violation. The cache is a
+// pure latency optimisation — correctness is carried entirely by
+// validation (DESIGN.md §11).
+//
+// The cache is owned by a single coordinator and is not safe for
+// concurrent use, matching the coordinator's one-transaction-at-a-time
+// execution model. Cross-coordinator invalidation (recovery roll-back,
+// memory-node failure, ring swaps) is epoch-based: the compute node
+// bumps a shared epoch counter and entries stamped with an older epoch
+// stop hitting.
+//
+// Layout: a set-associative array (setWays entries per set, power-of-two
+// set count) rather than a Go map, for three reasons: Get/Put touch no
+// hash-map internals so the hit path is allocation-free; eviction is a
+// deterministic LRU-within-set decision (no map iteration order); and
+// the fixed geometry makes the memory bound exact.
+package cache
+
+import "pandora/internal/kvlayout"
+
+// setWays is the associativity: a key can live in any of the setWays
+// entries of its set. Four ways keeps conflict misses rare at trivial
+// probe cost (the whole set shares a cache line's worth of headers).
+const setWays = 4
+
+// DefaultEntries is the entry budget used when the configuration does
+// not specify one.
+const DefaultEntries = 4096
+
+// entry is one cached object. value is a reused buffer: replacement
+// overwrites it in place when capacities match, so a warm cache stops
+// allocating even on the insert path.
+type entry struct {
+	table   kvlayout.TableID
+	key     kvlayout.Key
+	used    bool
+	part    uint32
+	slot    uint64
+	version uint64
+	epoch   uint64
+	tick    uint64
+	value   []byte
+}
+
+// View is the read-only result of a hit. Value aliases cache-owned
+// memory: it is valid until the coordinator's next cache operation and
+// must be copied to be retained.
+type View struct {
+	Partition uint32
+	Slot      uint64
+	Version   uint64
+	Value     []byte
+}
+
+// Stats counts cache traffic since creation.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Puts          uint64
+	Invalidations uint64
+	Evictions     uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is one coordinator's validated read cache. Not safe for
+// concurrent use.
+type Cache struct {
+	entries []entry
+	setMask uint64
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache holding at least `entries` objects (rounded up to
+// a power-of-two set count times setWays; minimum one set). entries <= 0
+// selects DefaultEntries.
+func New(entries int) *Cache {
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	sets := 1
+	for sets*setWays < entries {
+		sets <<= 1
+	}
+	return &Cache{
+		entries: make([]entry, sets*setWays),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// setFor returns the offset of (table, key)'s set within c.entries.
+func (c *Cache) setFor(table kvlayout.TableID, key kvlayout.Key) int {
+	h := kvlayout.Mix64(uint64(key) ^ (uint64(table)+1)<<48)
+	return int(h&c.setMask) * setWays
+}
+
+// Get looks (table, key) up. Entries stamped with an epoch other than
+// the caller's current one are ignored (and remain in place as
+// replacement victims). The hit path performs no allocations.
+func (c *Cache) Get(table kvlayout.TableID, key kvlayout.Key, epoch uint64) (View, bool) {
+	base := c.setFor(table, key)
+	for i := base; i < base+setWays; i++ {
+		e := &c.entries[i]
+		if e.used && e.table == table && e.key == key {
+			if e.epoch != epoch {
+				break // stale epoch: miss; Put will recycle the entry
+			}
+			c.tick++
+			e.tick = c.tick
+			c.stats.Hits++
+			return View{Partition: e.part, Slot: e.slot, Version: e.version, Value: e.value}, true
+		}
+	}
+	c.stats.Misses++
+	return View{}, false
+}
+
+// Put records (table, key)'s observed location, version and value. The
+// value is copied into cache-owned memory; a same-capacity replacement
+// reuses the victim's buffer. Same-key puts overwrite in place, so the
+// set never holds two entries for one key.
+func (c *Cache) Put(table kvlayout.TableID, key kvlayout.Key, partition uint32, slot, version uint64, value []byte, epoch uint64) {
+	base := c.setFor(table, key)
+	victim := base
+	for i := base; i < base+setWays; i++ {
+		e := &c.entries[i]
+		if e.used && e.table == table && e.key == key {
+			victim = i
+			break
+		}
+		if !c.entries[victim].used {
+			continue // keep the free victim
+		}
+		if !e.used || e.tick < c.entries[victim].tick {
+			victim = i
+		}
+	}
+	e := &c.entries[victim]
+	if e.used && !(e.table == table && e.key == key) {
+		c.stats.Evictions++
+	}
+	c.tick++
+	e.table, e.key, e.used = table, key, true
+	e.part, e.slot, e.version = partition, slot, version
+	e.epoch, e.tick = epoch, c.tick
+	if cap(e.value) >= len(value) {
+		e.value = e.value[:len(value)]
+	} else {
+		e.value = make([]byte, len(value))
+	}
+	copy(e.value, value)
+	c.stats.Puts++
+}
+
+// Touch re-stamps an existing entry's epoch if its cached version still
+// matches — used when validation just proved the entry current, which
+// carries a stale-epoch entry across an epoch bump without a value
+// copy. A version mismatch leaves the entry untouched.
+func (c *Cache) Touch(table kvlayout.TableID, key kvlayout.Key, version, epoch uint64) {
+	base := c.setFor(table, key)
+	for i := base; i < base+setWays; i++ {
+		e := &c.entries[i]
+		if e.used && e.table == table && e.key == key {
+			if e.version == version {
+				c.tick++
+				e.epoch, e.tick = epoch, c.tick
+			}
+			return
+		}
+	}
+}
+
+// Invalidate drops (table, key) if present.
+func (c *Cache) Invalidate(table kvlayout.TableID, key kvlayout.Key) {
+	base := c.setFor(table, key)
+	for i := base; i < base+setWays; i++ {
+		e := &c.entries[i]
+		if e.used && e.table == table && e.key == key {
+			e.used = false
+			c.stats.Invalidations++
+			return
+		}
+	}
+}
+
+// Len returns the number of live entries (any epoch); O(capacity),
+// diagnostics only.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// Cap returns the entry capacity.
+func (c *Cache) Cap() int { return len(c.entries) }
+
+// Stats returns the traffic counters.
+func (c *Cache) Stats() Stats { return c.stats }

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"testing"
+
+	"pandora/internal/kvlayout"
+	"pandora/internal/race"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := New(64)
+	c.Put(1, 42, 3, 7, 5, []byte("hello"), 0)
+	v, ok := c.Get(1, 42, 0)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if v.Partition != 3 || v.Slot != 7 || v.Version != 5 || string(v.Value) != "hello" {
+		t.Fatalf("view = %+v", v)
+	}
+	// Different table, same key: distinct entry.
+	if _, ok := c.Get(2, 42, 0); ok {
+		t.Fatal("hit on wrong table")
+	}
+	// Same-key Put overwrites in place — never a duplicate.
+	c.Put(1, 42, 3, 7, 6, []byte("world"), 0)
+	v, _ = c.Get(1, 42, 0)
+	if v.Version != 6 || string(v.Value) != "world" {
+		t.Fatalf("overwrite lost: %+v", v)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("same-key overwrite counted as eviction: %+v", st)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New(64)
+	c.Put(0, 1, 0, 0, 9, []byte("v"), 1)
+	if _, ok := c.Get(0, 1, 1); !ok {
+		t.Fatal("miss in the entry's own epoch")
+	}
+	if _, ok := c.Get(0, 1, 2); ok {
+		t.Fatal("hit across an epoch bump")
+	}
+	// Touch with a matching version revalidates into the new epoch.
+	c.Touch(0, 1, 9, 2)
+	if _, ok := c.Get(0, 1, 2); !ok {
+		t.Fatal("miss after Touch revalidation")
+	}
+	// Touch with a stale version must not revalidate.
+	c.Touch(0, 1, 8, 3)
+	if _, ok := c.Get(0, 1, 3); ok {
+		t.Fatal("hit after version-mismatched Touch")
+	}
+	// A Put in the new epoch recycles the stale entry.
+	c.Put(0, 1, 0, 0, 10, []byte("w"), 3)
+	if v, ok := c.Get(0, 1, 3); !ok || v.Version != 10 {
+		t.Fatalf("Put did not refresh stale-epoch entry: %+v ok=%v", v, ok)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(64)
+	c.Put(0, 5, 0, 0, 1, []byte("x"), 0)
+	c.Invalidate(0, 5)
+	if _, ok := c.Get(0, 5, 0); ok {
+		t.Fatal("hit after Invalidate")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// Invalidating an absent key is a no-op.
+	c.Invalidate(0, 6)
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("absent-key invalidate counted: %+v", st)
+	}
+}
+
+// TestEvictionLRUWithinSet fills one set past associativity and checks
+// the least-recently-used way is the one replaced.
+func TestEvictionLRUWithinSet(t *testing.T) {
+	c := New(1) // single set of setWays entries
+	if c.Cap() != setWays {
+		t.Fatalf("cap = %d, want %d", c.Cap(), setWays)
+	}
+	for k := kvlayout.Key(0); k < setWays; k++ {
+		c.Put(0, k, 0, 0, 1, []byte("v"), 0)
+	}
+	// Touch key 0 so key 1 becomes LRU.
+	if _, ok := c.Get(0, 0, 0); !ok {
+		t.Fatal("warm miss")
+	}
+	c.Put(0, 99, 0, 0, 1, []byte("n"), 0)
+	if _, ok := c.Get(0, 1, 0); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(0, 0, 0); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get(0, 99, 0); !ok {
+		t.Fatal("newly inserted entry missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestLenCounts(t *testing.T) {
+	c := New(64)
+	for k := kvlayout.Key(0); k < 10; k++ {
+		c.Put(0, k, 0, 0, 1, []byte("v"), 0)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("len = %d, want 10", c.Len())
+	}
+}
+
+// TestHitPathZeroAlloc enforces the cache-hit contract: serving a read
+// from the cache performs no heap allocations (Get), and a warm
+// same-capacity Put reuses the victim's value buffer.
+func TestHitPathZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("-race instrumentation allocates; the cache-hit zero-alloc contract is enforced by the no-race lane")
+	}
+	c := New(256)
+	val := make([]byte, 40)
+	for k := kvlayout.Key(0); k < 100; k++ {
+		c.Put(0, k, 0, uint64(k), 1, val, 0)
+	}
+	var sink uint64
+	if n := testing.AllocsPerRun(500, func() {
+		v, ok := c.Get(0, 37, 0)
+		if !ok {
+			t.Fatal("miss")
+		}
+		sink += v.Version
+	}); n > 0 {
+		t.Errorf("Get hit: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		c.Put(0, 37, 0, 37, 2, val, 0)
+	}); n > 0 {
+		t.Errorf("warm Put: %.1f allocs/op, want 0", n)
+	}
+	_ = sink
+}

@@ -51,6 +51,12 @@ type Config struct {
 	// byte-reproducible; keep it off when comparing logs.
 	Escalate bool
 
+	// ReadCacheSize is passed through to pandora.Config.ReadCacheSize:
+	// 0 = default-sized validated read cache, negative = disabled. The
+	// cache-coherence-under-failure scenarios run the same schedules
+	// with the cache on and assert zero violations.
+	ReadCacheSize int
+
 	// Logf receives the deterministic event log, one line per call
 	// (nil discards). Keep nondeterministic output (stats, timings)
 	// out of this sink.
@@ -143,6 +149,7 @@ func Run(cfg Config) (*Result, error) {
 		VerbTimeout:         cfg.VerbTimeout,
 		SuspectThreshold:    suspect,
 		Persistence:         cfg.Scenario == "power",
+		ReadCacheSize:       cfg.ReadCacheSize,
 	})
 	if err != nil {
 		return nil, err
@@ -402,17 +409,31 @@ func (e *engine) readAll() ([]int64, error) {
 		if hi > e.cfg.Keys {
 			hi = e.cfg.Keys
 		}
-		tx := s.Begin()
-		for k := lo; k < hi; k++ {
-			v, err := tx.Read(table, pandora.Key(k))
-			if err != nil {
-				_ = tx.Abort()
-				return nil, fmt.Errorf("key %d: %w", k, err)
+		// Retry validation aborts: the coordinator's read cache may hold
+		// versions the workload has since overwritten; commit rejects and
+		// invalidates them, and the retry reads the committed state.
+		for attempt := 0; ; attempt++ {
+			tx := s.Begin()
+			var rerr error
+			for k := lo; k < hi; k++ {
+				v, err := tx.Read(table, pandora.Key(k))
+				if err != nil {
+					_ = tx.Abort()
+					rerr = fmt.Errorf("key %d: %w", k, err)
+					break
+				}
+				vals[k] = int64(binary.LittleEndian.Uint64(v))
 			}
-			vals[k] = int64(binary.LittleEndian.Uint64(v))
-		}
-		if err := tx.Commit(); err != nil {
-			return nil, fmt.Errorf("audit read commit: %w", err)
+			if rerr != nil {
+				return nil, rerr
+			}
+			cerr := tx.Commit()
+			if cerr == nil {
+				break
+			}
+			if !pandora.IsAborted(cerr) || attempt >= 8 {
+				return nil, fmt.Errorf("audit read commit: %w", cerr)
+			}
 		}
 	}
 	return vals, nil

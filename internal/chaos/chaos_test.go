@@ -103,6 +103,34 @@ func TestScenarios(t *testing.T) {
 	}
 }
 
+// TestReadCacheCoherenceUnderFailure: the validated read cache must
+// never let a stale value commit, whatever the fault schedule does.
+// Crash recovery, memory failure and ring swaps bump the coordinator
+// cache epochs; OCC validation catches everything else — so the same
+// seeded schedules that audit the cacheless protocol must stay
+// violation-free with the cache on. The 64-entry run keeps the cache
+// far smaller than the keyspace to maximise eviction/refill churn.
+func TestReadCacheCoherenceUnderFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios skipped in -short mode")
+	}
+	for _, seed := range []int64{1, 7, 99} {
+		for _, size := range []int{0, 64} {
+			seed, size := seed, size
+			t.Run(fmt.Sprintf("seed%d/size%d", seed, size), func(t *testing.T) {
+				runScenario(t, Config{
+					Seed:          seed,
+					Scenario:      "mixed",
+					Workload:      "bank",
+					Events:        8,
+					Gap:           time.Millisecond,
+					ReadCacheSize: size,
+				})
+			})
+		}
+	}
+}
+
 // TestRunDeterministicLog: two runs with the same seed emit
 // byte-identical event logs (escalation off). This is the property that
 // makes a chaos failure reproducible by seed.

@@ -136,6 +136,11 @@ func (tx *Tx) Commit() error {
 			if serr != nil {
 				return tx.verbFailure(serr)
 			}
+			if stole {
+				// Stealing a stray lock: the cached image of this key
+				// predates the owner's failure.
+				tx.invalidateCached(w.ref.table, w.ref.key)
+			}
 			w.locked = stole
 			ok = ok && stole
 		} else {
@@ -229,6 +234,20 @@ func (tx *Tx) Commit() error {
 		return tx.crash()
 	}
 
+	// Write-through: the commit is acknowledged and fully unlocked, so
+	// the new images are the freshest possible cache content. Deletes
+	// drop the entry instead (a tombstoned slot must read as absent).
+	if rc := tx.co.rcache; rc != nil {
+		epoch := tx.cn.cacheEpoch.Load()
+		for _, w := range tx.writes {
+			if w.kind == kvlayout.WriteDelete {
+				rc.Invalidate(w.ref.table, w.ref.key)
+			} else {
+				rc.Put(w.ref.table, w.ref.key, w.ref.partition, w.ref.slot, w.newVersion, w.newValue, epoch)
+			}
+		}
+	}
+
 	tx.release()
 	return nil
 }
@@ -278,20 +297,44 @@ func (tx *Tx) validate() (bool, error) {
 	if err != nil {
 		return false, tx.verbFailure(err)
 	}
+	// First sweep the whole batch for stale versions: every provably
+	// stale cache entry is dropped before the abort decision, so one
+	// retry re-reads them all instead of aborting once per stale key. A
+	// lock conflict deliberately does NOT invalidate: the version still
+	// matches, so the entry is still current.
+	stale := -1
+	var staleVersion uint64
 	for i, r := range tx.reads {
-		buf := b.Op(i).Buf
-		lock := kvlayout.Uint64(buf[0:])
-		version := kvlayout.Uint64(buf[8:])
+		version := kvlayout.Uint64(b.Op(i).Buf[8:])
 		if version != r.version {
-			return false, tx.abort(fmt.Sprintf("validation: version of %d/%d moved %d -> %d",
-				r.ref.table, r.ref.key, r.version, version))
+			tx.invalidateCached(r.ref.table, r.ref.key)
+			if stale < 0 {
+				stale, staleVersion = i, version
+			}
 		}
+	}
+	if stale >= 0 {
+		r := tx.reads[stale]
+		return false, tx.abort(fmt.Sprintf("validation: version of %d/%d moved %d -> %d",
+			r.ref.table, r.ref.key, r.version, staleVersion))
+	}
+	for i, r := range tx.reads {
+		lock := kvlayout.Uint64(b.Op(i).Buf[0:])
 		if tx.cn.opts.Bugs.CovertLocks {
 			continue // seeded bug: lock word ignored during validation
 		}
 		if kvlayout.IsLocked(lock) && lock != tx.lockWord() && !tx.strayLock(lock) {
 			return false, tx.abort(fmt.Sprintf("validation: %d/%d locked by coordinator %d",
 				r.ref.table, r.ref.key, kvlayout.LockOwner(lock)))
+		}
+	}
+	// Every read-set version just re-proved current: re-stamp the
+	// surviving cache entries into the present epoch (no value copy), so
+	// an epoch bump does not evict entries validation keeps vouching for.
+	if rc := tx.co.rcache; rc != nil {
+		epoch := tx.cn.cacheEpoch.Load()
+		for _, r := range tx.reads {
+			rc.Touch(r.ref.table, r.ref.key, r.version, epoch)
 		}
 	}
 	return true, nil
@@ -476,6 +519,10 @@ func (tx *Tx) abortInternal(reason string) error {
 			b.AddWrite(tx.cn.tableAddr(n, w.ref, kvlayout.SlotVersionOff), payload)
 		}
 		w.applied = nil
+		// The slot is being rewritten mid-abort; drop any cached image
+		// (conservative — the restored pre-image would in fact still
+		// validate, but the entry is cheap to refetch).
+		tx.invalidateCached(w.ref.table, w.ref.key)
 	}
 	if b.Len() > 0 {
 		if err := tx.doCleanup(b.Ops()); err != nil {

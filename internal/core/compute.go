@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pandora/internal/cache"
 	"pandora/internal/fdetect"
 	"pandora/internal/kvlayout"
 	"pandora/internal/place"
@@ -50,6 +51,14 @@ type ComputeNode struct {
 	deadMu   sync.RWMutex
 	deadMem  map[rdma.NodeID]bool
 	cfgEpoch atomic.Uint64
+
+	// cacheEpoch stamps every validated-read-cache entry; any event that
+	// could silently change committed state out from under cached values
+	// (recovery roll-back announced via stray-lock notification, memory
+	// failure/recovery, a placement swap) bumps it, turning every older
+	// entry into a miss. Per-key staleness needs no epoch: OCC
+	// validation catches it (DESIGN.md §11).
+	cacheEpoch atomic.Uint64
 
 	addrMu    sync.RWMutex
 	addrCache map[addrKey]objRef
@@ -116,13 +125,17 @@ func NewComputeNode(fab *rdma.Fabric, id rdma.NodeID, ring *place.Ring, schema [
 	// must never resurrect (a real restart is a new process).
 	alive := func() bool { return !cn.crashed.Load() }
 	for slot, cid := range coordIDs {
-		cn.coords = append(cn.coords, &Coordinator{
+		co := &Coordinator{
 			node:       cn,
 			id:         cid,
 			slot:       slot,
 			ep:         fab.Endpoint(id).WithGate(alive).WithTimeout(opts.VerbTimeout),
 			logServers: ring.LogServers(id),
-		})
+		}
+		if opts.ReadCacheSize >= 0 {
+			co.rcache = cache.New(opts.ReadCacheSize)
+		}
+		cn.coords = append(cn.coords, co)
 	}
 	return cn
 }
@@ -238,6 +251,10 @@ func (cn *ComputeNode) NotifyStrayLocks(ids []kvlayout.CoordID) {
 	for _, id := range ids {
 		cn.failed.Set(id)
 	}
+	// The announcement follows log recovery, which may have rolled
+	// applied-but-undecided writes back: cached values read before the
+	// failure must stop hitting until revalidated.
+	cn.cacheEpoch.Add(1)
 }
 
 // NotifyMemoryFailure updates the node's placement view after a memory
@@ -248,6 +265,7 @@ func (cn *ComputeNode) NotifyMemoryFailure(node rdma.NodeID) {
 	cn.deadMem[node] = true
 	cn.deadMu.Unlock()
 	cn.cfgEpoch.Add(1)
+	cn.cacheEpoch.Add(1)
 }
 
 // NotifyMemoryRecovered marks a previously failed memory server live
@@ -258,6 +276,9 @@ func (cn *ComputeNode) NotifyMemoryRecovered(node rdma.NodeID) {
 	delete(cn.deadMem, node)
 	cn.deadMu.Unlock()
 	cn.cfgEpoch.Add(1)
+	// A restarted NVM server resumes primary duty serving its durable
+	// image, which may lag values cached during the outage window.
+	cn.cacheEpoch.Add(1)
 }
 
 // memAlive reports this node's view of a memory server's liveness.
@@ -282,6 +303,7 @@ func (cn *ComputeNode) SwapRing(r *place.Ring) {
 	cn.deadMu.Lock()
 	cn.deadMem = make(map[rdma.NodeID]bool)
 	cn.deadMu.Unlock()
+	cn.cacheEpoch.Add(1)
 }
 
 // Pause stops the world on this node: it waits for in-flight
@@ -359,6 +381,10 @@ type Coordinator struct {
 	ep         *rdma.Endpoint
 	logServers []rdma.NodeID
 	txCounter  uint64
+	// rcache is the validated read cache (nil when disabled). Owned by
+	// this coordinator's transaction goroutine; global invalidation
+	// flows through the node's cacheEpoch instead of touching it.
+	rcache *cache.Cache
 }
 
 // ID returns the coordinator's unique coordinator-id.
@@ -377,4 +403,14 @@ func (co *Coordinator) Node() *ComputeNode { return co.node }
 // latency-shaped experiments); nil disables charging.
 func (co *Coordinator) WithClock(clk *rdma.VClock) {
 	co.ep = co.ep.WithClock(clk)
+}
+
+// ReadCacheStats returns the coordinator's validated-read-cache
+// counters (zero value when the cache is disabled). Call from the
+// coordinator's own goroutine or while it is quiescent.
+func (co *Coordinator) ReadCacheStats() cache.Stats {
+	if co.rcache == nil {
+		return cache.Stats{}
+	}
+	return co.rcache.Stats()
 }

@@ -121,6 +121,13 @@ type Options struct {
 	// validation-ordering bugs (Covert Locks, Relaxed Locks) — the same
 	// windows real network latency variance opens on hardware.
 	PostValidateDelay func()
+	// ReadCacheSize sizes the per-coordinator validated read cache
+	// (entries). 0 selects the default (cache.DefaultEntries); negative
+	// disables the cache entirely — the flag-gated no-cache baseline
+	// every read-path experiment compares against. A hit serves the
+	// value compute-side and registers the cached version in the read
+	// set; OCC validation provides the staleness check (DESIGN.md §11).
+	ReadCacheSize int
 	// VerbTimeout, when positive, bounds how long any coordinator verb
 	// may be held up by a stalled or slow link before failing with
 	// rdma.ErrVerbTimeout. A timed-out verb had no memory effect; the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -124,17 +125,26 @@ func mustCommit(t testing.TB, co *Coordinator, fn func(tx *Tx) error) {
 	}
 }
 
-// readKey reads one key in a fresh read-only transaction.
+// readKey reads one key in a fresh read-only transaction. A validation
+// abort is retried: with the read cache on, a read may serve a stale
+// cached version that commit-time validation rejects (and invalidates),
+// so the retry observes the committed state — the standard OCC client
+// loop.
 func readKey(t testing.TB, co *Coordinator, table kvlayout.TableID, k kvlayout.Key) ([]byte, error) {
 	t.Helper()
-	tx := co.Begin()
-	v, err := tx.Read(table, k)
-	if err != nil {
-		_ = tx.Abort()
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		tx := co.Begin()
+		v, err := tx.Read(table, k)
+		if err != nil {
+			_ = tx.Abort()
+			return nil, err
+		}
+		cerr := tx.Commit()
+		if cerr == nil {
+			return v, nil
+		}
+		if !errors.Is(cerr, ErrAborted) || attempt >= 3 {
+			return nil, cerr
+		}
 	}
-	if cerr := tx.Commit(); cerr != nil {
-		return nil, cerr
-	}
-	return v, nil
 }

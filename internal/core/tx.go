@@ -163,6 +163,25 @@ func (tx *Tx) Read(table kvlayout.TableID, key kvlayout.Key) ([]byte, error) {
 		return append([]byte(nil), r.value...), nil
 	}
 
+	// Validated read cache: a hit skips the fabric entirely. The cached
+	// version joins the read set exactly like a fabric-read version, so
+	// validation's version re-read catches any staleness before commit
+	// (a stale hit costs an abort, never a wrong result).
+	if rc := tx.co.rcache; rc != nil {
+		if v, ok := rc.Get(table, key, tx.cn.cacheEpoch.Load()); ok {
+			ent := &readEnt{
+				ref:     objRef{table: table, key: key, partition: v.Partition, slot: v.Slot},
+				version: v.Version,
+				value:   append([]byte(nil), v.Value...),
+			}
+			tx.reads = append(tx.reads, ent)
+			if tx.cn.opts.LocalWork != nil {
+				tx.cn.opts.LocalWork()
+			}
+			return append([]byte(nil), ent.value...), nil
+		}
+	}
+
 	ref, found, err := tx.cn.resolve(tx.co.ep, table, key)
 	if err != nil {
 		return nil, tx.verbFailure(err)
@@ -170,7 +189,7 @@ func (tx *Tx) Read(table kvlayout.TableID, key kvlayout.Key) ([]byte, error) {
 	if !found {
 		return nil, ErrNotFound
 	}
-	slot, err := tx.readSlotConsistent(ref)
+	slot, ref, err := tx.readSlotConsistent(ref)
 	if err != nil {
 		return nil, err
 	}
@@ -179,25 +198,47 @@ func (tx *Tx) Read(table kvlayout.TableID, key kvlayout.Key) ([]byte, error) {
 	}
 	ent := &readEnt{ref: ref, version: slot.Version, value: append([]byte(nil), slot.Value...)}
 	tx.reads = append(tx.reads, ent)
+	tx.cacheRead(ent)
 	if tx.cn.opts.LocalWork != nil {
 		tx.cn.opts.LocalWork()
 	}
 	return append([]byte(nil), ent.value...), nil
 }
 
+// cacheRead records a successful fabric read in the validated read
+// cache. The entry's value slice is owned by the read set, so the cache
+// copies it.
+func (tx *Tx) cacheRead(ent *readEnt) {
+	if rc := tx.co.rcache; rc != nil {
+		rc.Put(ent.ref.table, ent.ref.key, ent.ref.partition, ent.ref.slot,
+			ent.version, ent.value, tx.cn.cacheEpoch.Load())
+	}
+}
+
+// invalidateCached drops (table, key) from this coordinator's validated
+// read cache, if caching is enabled.
+func (tx *Tx) invalidateCached(table kvlayout.TableID, key kvlayout.Key) {
+	if rc := tx.co.rcache; rc != nil {
+		rc.Invalidate(table, key)
+	}
+}
+
 // readSlotConsistent fetches a full slot from the primary, handling
 // stale cache entries and conflicting locks per the protocol policy
-// (abort / treat-stray-as-unlocked / stall).
-func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, error) {
+// (abort / treat-stray-as-unlocked / stall). It returns the ref the
+// slot was actually read from: a reused slot triggers a re-probe, and
+// the read-set entry must pin the re-resolved location or validation
+// would re-read the abandoned slot.
+func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, objRef, error) {
 	tab := tx.cn.schema[ref.table]
 	buf := make([]byte, tab.SlotSize())
 	for {
 		primary, _, err := tx.cn.replicasFor(ref.partition)
 		if err != nil {
-			return kvlayout.Slot{}, tx.abort("no live replica: " + err.Error())
+			return kvlayout.Slot{}, ref, tx.abort("no live replica: " + err.Error())
 		}
 		if err := tx.co.ep.Read(tx.cn.tableAddr(primary, ref, 0), buf); err != nil {
-			return kvlayout.Slot{}, tx.verbFailure(err)
+			return kvlayout.Slot{}, ref, tx.verbFailure(err)
 		}
 		slot := tab.DecodeSlot(buf)
 		if slot.Present && slot.Key != ref.key {
@@ -205,10 +246,10 @@ func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, error) {
 			tx.cn.dropRef(ref.table, ref.key)
 			newRef, found, err := tx.cn.resolve(tx.co.ep, ref.table, ref.key)
 			if err != nil {
-				return kvlayout.Slot{}, tx.verbFailure(err)
+				return kvlayout.Slot{}, ref, tx.verbFailure(err)
 			}
 			if !found {
-				return kvlayout.Slot{Present: false}, nil
+				return kvlayout.Slot{Present: false}, ref, nil
 			}
 			ref = newRef
 			continue
@@ -217,18 +258,18 @@ func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, error) {
 			if tx.strayLock(slot.Lock) {
 				// PILL: a stray lock of a failed coordinator is treated
 				// as no lock at all (§3.1.2).
-				return slot, nil
+				return slot, ref, nil
 			}
 			if tx.mayStall() {
 				if err := tx.stallWait(); err != nil {
-					return kvlayout.Slot{}, err
+					return kvlayout.Slot{}, ref, err
 				}
 				continue
 			}
-			return kvlayout.Slot{}, tx.abort(fmt.Sprintf("read of %d/%d found lock held by coordinator %d",
+			return kvlayout.Slot{}, ref, tx.abort(fmt.Sprintf("read of %d/%d found lock held by coordinator %d",
 				ref.table, ref.key, kvlayout.LockOwner(slot.Lock)))
 		}
-		return slot, nil
+		return slot, ref, nil
 	}
 }
 
@@ -443,10 +484,12 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 			return tx.abort("no live replica: " + err.Error())
 		}
 		ent.replicas = orderReplicas(primary, all)
-		slot, err := tx.readSlotConsistent(ref)
+		slot, newRef, err := tx.readSlotConsistent(ref)
 		if err != nil {
 			return err
 		}
+		ref = newRef
+		ent.ref = newRef
 		tx.captureUndo(ent, slot)
 		ent.pendingCAS = &rdma.Op{
 			Kind:   rdma.OpCAS,
@@ -501,8 +544,10 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 					DebugSteal(tx.co.id, kvlayout.LockOwner(old), ref.key)
 				}
 				if stole {
-					// We now hold the lock; refresh the slot image under
-					// it before proceeding.
+					// The previous owner failed and recovery may have
+					// rewritten the slot since we cached it; drop the
+					// entry and refresh the slot image under our lock.
+					tx.invalidateCached(ref.table, ref.key)
 					if err := tx.co.ep.Read(readOp.Addr, buf); err != nil {
 						return tx.failLocked(ent, primary, all, err)
 					}
@@ -705,25 +750,182 @@ func padValue(tab kvlayout.Table, v []byte) []byte {
 	return out
 }
 
+// rangeChunk is the number of keys a ReadRange prefetches per doorbell.
+const rangeChunk = 16
+
 // ReadRange reads every present key in [lo, hi], in key order, invoking
-// fn for each. It is a convenience for the dense keyspaces of the
-// paper's benchmarks; each key costs one point read.
+// fn for each. Keys are fetched in chunks of rangeChunk: all cache
+// misses of a chunk are read with one doorbell-batched multi-READ
+// instead of a dependent round trip per key, and the read-set dedup
+// scan runs only against entries that predate the range (range keys
+// are distinct, so entries appended by earlier chunks can never match
+// later keys — the scan no longer grows quadratically with the range).
 func (tx *Tx) ReadRange(table kvlayout.TableID, lo, hi kvlayout.Key, fn func(k kvlayout.Key, v []byte) bool) error {
-	for k := lo; ; k++ {
-		v, err := tx.Read(table, k)
-		switch {
-		case errors.Is(err, ErrNotFound):
-		case err != nil:
-			return err
-		default:
-			if !fn(k, v) {
-				return nil
-			}
+	if hi < lo {
+		return nil
+	}
+	preReads := len(tx.reads)
+	for base := lo; ; {
+		end := base + rangeChunk - 1
+		if end > hi || end < base { // min(end, hi), wrap-safe
+			end = hi
 		}
-		if k == hi {
+		stop, err := tx.readRangeChunk(table, base, end, preReads, fn)
+		if err != nil {
+			return err
+		}
+		if stop || end == hi {
 			return nil
 		}
+		base = end + 1
 	}
+}
+
+// readRangeChunk fetches [lo, hi] (at most rangeChunk keys) and emits
+// present values in key order. Each key is classified — own pending
+// write, pre-range read-set entry, cache hit, or fabric miss — and the
+// misses share one batched READ. Slots that come back contended or
+// moved fall back to the per-key protocol loop, which owns the stall /
+// stray-lock / re-probe policy.
+func (tx *Tx) readRangeChunk(table kvlayout.TableID, lo, hi kvlayout.Key, preReads int, fn func(k kvlayout.Key, v []byte) bool) (bool, error) {
+	if err := tx.checkUsable(); err != nil {
+		return false, err
+	}
+	n := int(hi-lo) + 1
+	var (
+		vals    [rangeChunk][]byte
+		present [rangeChunk]bool
+		refs    [rangeChunk]objRef
+		fetch   [rangeChunk]bool
+		slow    [rangeChunk]bool
+		addrs   [rangeChunk]rdma.Addr
+	)
+	var epoch uint64
+	if tx.co.rcache != nil {
+		epoch = tx.cn.cacheEpoch.Load()
+	}
+	misses := 0
+	for i := 0; i < n; i++ {
+		k := lo + kvlayout.Key(i)
+		if w := tx.findWrite(table, k); w != nil {
+			if w.kind != kvlayout.WriteDelete {
+				vals[i], present[i] = w.newValue, true
+			}
+			continue
+		}
+		if r := tx.findReadBefore(preReads, table, k); r != nil {
+			vals[i], present[i] = r.value, true
+			continue
+		}
+		if rc := tx.co.rcache; rc != nil {
+			if v, ok := rc.Get(table, k, epoch); ok {
+				ent := &readEnt{
+					ref:     objRef{table: table, key: k, partition: v.Partition, slot: v.Slot},
+					version: v.Version,
+					value:   append([]byte(nil), v.Value...),
+				}
+				tx.reads = append(tx.reads, ent)
+				vals[i], present[i] = ent.value, true
+				continue
+			}
+		}
+		ref, found, err := tx.cn.resolve(tx.co.ep, table, k)
+		if err != nil {
+			return false, tx.verbFailure(err)
+		}
+		if !found {
+			continue
+		}
+		refs[i] = ref
+		fetch[i] = true
+		misses++
+	}
+
+	if misses > 0 {
+		b := rdma.GetBatch()
+		slotSize := int(tx.cn.schema[table].SlotSize())
+		na := 0
+		for i := 0; i < n; i++ {
+			if !fetch[i] {
+				continue
+			}
+			primary, _, err := tx.cn.replicasFor(refs[i].partition)
+			if err != nil {
+				b.Put()
+				return false, tx.abort("no live replica: " + err.Error())
+			}
+			addrs[na] = tx.cn.tableAddr(primary, refs[i], 0)
+			na++
+		}
+		buf, err := tx.co.ep.ReadBatch(b, addrs[:na], slotSize)
+		if err != nil {
+			b.Put()
+			return false, tx.verbFailure(err)
+		}
+		tab := tx.cn.schema[table]
+		j := 0
+		for i := 0; i < n; i++ {
+			if !fetch[i] {
+				continue
+			}
+			slot := tab.DecodeSlot(buf[j*slotSize : (j+1)*slotSize])
+			j++
+			switch {
+			case slot.Present && slot.Key != refs[i].key:
+				slow[i] = true // slot reused; the slow path re-probes
+			case kvlayout.IsLocked(slot.Lock) && slot.Lock != tx.lockWord() && !tx.strayLock(slot.Lock):
+				slow[i] = true // live conflicting lock; the slow path stalls or aborts
+			case !slot.Present:
+				// absent (empty / tombstone / in-flight claim): skip
+			default:
+				ent := &readEnt{ref: refs[i], version: slot.Version, value: append([]byte(nil), slot.Value...)}
+				tx.reads = append(tx.reads, ent)
+				tx.cacheRead(ent)
+				vals[i], present[i] = ent.value, true
+			}
+		}
+		b.Put()
+		for i := 0; i < n; i++ {
+			if !slow[i] {
+				continue
+			}
+			slot, ref, err := tx.readSlotConsistent(refs[i])
+			if err != nil {
+				return false, err
+			}
+			if !slot.Present {
+				continue
+			}
+			ent := &readEnt{ref: ref, version: slot.Version, value: append([]byte(nil), slot.Value...)}
+			tx.reads = append(tx.reads, ent)
+			tx.cacheRead(ent)
+			vals[i], present[i] = ent.value, true
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if !present[i] {
+			continue
+		}
+		if tx.cn.opts.LocalWork != nil {
+			tx.cn.opts.LocalWork()
+		}
+		if !fn(lo+kvlayout.Key(i), append([]byte(nil), vals[i]...)) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// findReadBefore returns a read-set entry for (table, key) among the
+// first n entries — the read set as it stood before a range started.
+func (tx *Tx) findReadBefore(n int, table kvlayout.TableID, key kvlayout.Key) *readEnt {
+	for _, r := range tx.reads[:n] {
+		if r.ref.table == table && r.ref.key == key {
+			return r
+		}
+	}
+	return nil
 }
 
 // Done reports whether the transaction has finished (committed, aborted,

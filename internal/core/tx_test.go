@@ -474,18 +474,33 @@ func TestBankTransferConservation(t *testing.T) {
 	}
 	wg.Wait()
 
+	// Sum all accounts in one read-only transaction, retrying validation
+	// aborts (the read cache may serve versions the workers have since
+	// overwritten; validation rejects and invalidates them).
 	var total uint64
 	co := e.nodes[0].Coordinator(0)
-	tx := co.Begin()
-	for k := kvlayout.Key(0); k < accounts; k++ {
-		v, err := tx.Read(0, k)
-		if err != nil {
+	for attempt := 0; ; attempt++ {
+		total = 0
+		tx := co.Begin()
+		var rerr error
+		for k := kvlayout.Key(0); k < accounts; k++ {
+			v, err := tx.Read(0, k)
+			if err != nil {
+				rerr = err
+				break
+			}
+			total += kvlayout.Uint64(v)
+		}
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		err := tx.Commit()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrAborted) || attempt >= 3 {
 			t.Fatal(err)
 		}
-		total += kvlayout.Uint64(v)
-	}
-	if err := tx.Commit(); err != nil {
-		t.Fatal(err)
 	}
 	if total != accounts*initial {
 		t.Fatalf("total balance %d, want %d (money created or destroyed)", total, accounts*initial)

@@ -172,6 +172,10 @@ func RunTest(t Test, cfg Config) (Report, error) {
 		CoordinatorsPerNode: (len(t.Txs)+1)/2 + 1,
 		Protocol:            cfg.Protocol,
 		SeedBugs:            cfg.Bugs,
+		// Litmus observes the raw protocol: the validated read cache
+		// would mask read-time interleavings (a hit skips the fabric),
+		// so it is disabled here.
+		ReadCacheSize: -1,
 		Tables: []pandora.TableSpec{
 			{Name: "litmus", ValueSize: 16, Capacity: cfg.Iterations*varsPerIter + 64},
 		},

@@ -132,16 +132,23 @@ func (e *env) failNode(t testing.TB, i int) fdetect.Event {
 
 func (e *env) read(t testing.TB, node int, k kvlayout.Key) ([]byte, error) {
 	t.Helper()
-	tx := e.nodes[node].Coordinator(0).Begin()
-	v, err := tx.Read(0, k)
-	if err != nil {
-		_ = tx.Abort()
-		return nil, err
+	// Validation aborts are retried: a stale read-cache hit is rejected
+	// (and invalidated) at commit, so the retry sees committed state.
+	for attempt := 0; ; attempt++ {
+		tx := e.nodes[node].Coordinator(0).Begin()
+		v, err := tx.Read(0, k)
+		if err != nil {
+			_ = tx.Abort()
+			return nil, err
+		}
+		cerr := tx.Commit()
+		if cerr == nil {
+			return v, nil
+		}
+		if !errors.Is(cerr, core.ErrAborted) || attempt >= 3 {
+			return nil, cerr
+		}
 	}
-	if err := tx.Commit(); err != nil {
-		return nil, err
-	}
-	return v, nil
 }
 
 func (e *env) mustRead(t testing.TB, node int, k kvlayout.Key) []byte {

@@ -3,6 +3,7 @@ package workload
 import (
 	"encoding/binary"
 	"math/rand"
+	"sync"
 
 	pandora "pandora"
 )
@@ -18,8 +19,24 @@ type Micro struct {
 	WriteRatio float64
 	// HotKeys restricts accesses to the first HotKeys keys (0 = all).
 	HotKeys int
+	// HotFraction restricts accesses to the first HotFraction×Keys keys
+	// when in (0, 1); ignored if HotKeys is set. The fractional form of
+	// the hot-set knob, for sweeps that scale with the dataset.
+	HotFraction float64
+	// ZipfS, when > 1, draws keys Zipf-distributed with parameter s over
+	// the hot set instead of uniformly (higher s = heavier skew; the
+	// read-cache experiments use s≈1.3 so a small hot set absorbs most
+	// accesses). Values ≤ 1 mean uniform — math/rand's Zipf generator
+	// requires s > 1.
+	ZipfS float64
 	// OpsPerTx is the number of operations per transaction (default 2).
 	OpsPerTx int
+
+	// Zipf generators are per-worker (each bound to that worker's
+	// *rand.Rand); the map itself is guarded, the generators are not —
+	// each is only ever used by its owning worker goroutine.
+	mu    sync.Mutex
+	zipfs map[*rand.Rand]*rand.Zipf
 }
 
 func (m *Micro) keys() int {
@@ -53,10 +70,36 @@ func (m *Micro) Load(c *pandora.Cluster) error {
 	})
 }
 
-func (m *Micro) pick(r *rand.Rand) pandora.Key {
+// hotRange returns the size of the accessed key prefix.
+func (m *Micro) hotRange() int {
 	n := m.keys()
-	if m.HotKeys > 0 && m.HotKeys < n {
+	switch {
+	case m.HotKeys > 0 && m.HotKeys < n:
 		n = m.HotKeys
+	case m.HotFraction > 0 && m.HotFraction < 1:
+		if h := int(float64(n) * m.HotFraction); h >= 1 {
+			n = h
+		} else {
+			n = 1
+		}
+	}
+	return n
+}
+
+func (m *Micro) pick(r *rand.Rand) pandora.Key {
+	n := m.hotRange()
+	if m.ZipfS > 1 {
+		m.mu.Lock()
+		if m.zipfs == nil {
+			m.zipfs = make(map[*rand.Rand]*rand.Zipf)
+		}
+		z := m.zipfs[r]
+		if z == nil {
+			z = rand.NewZipf(r, m.ZipfS, 1, uint64(n-1))
+			m.zipfs[r] = z
+		}
+		m.mu.Unlock()
+		return pandora.Key(z.Uint64())
 	}
 	return pandora.Key(r.Intn(n))
 }

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMicroHotRange(t *testing.T) {
+	cases := []struct {
+		m    *Micro
+		want int
+	}{
+		{&Micro{Keys: 1000}, 1000},
+		{&Micro{Keys: 1000, HotKeys: 100}, 100},
+		{&Micro{Keys: 1000, HotFraction: 0.1}, 100},
+		{&Micro{Keys: 1000, HotKeys: 50, HotFraction: 0.5}, 50}, // HotKeys wins
+		{&Micro{Keys: 1000, HotFraction: 0.0001}, 1},            // floor at one key
+		{&Micro{Keys: 1000, HotFraction: 1}, 1000},              // 1 = no restriction
+	}
+	for i, c := range cases {
+		if got := c.m.hotRange(); got != c.want {
+			t.Errorf("case %d: hotRange = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMicroZipfSkew(t *testing.T) {
+	// With s=1.3 over 1000 keys, the most popular key must absorb far
+	// more than its uniform share, and every draw must stay in range.
+	m := &Micro{Keys: 1000, ZipfS: 1.3}
+	r := rand.New(rand.NewSource(1))
+	const draws = 20000
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		k := int(m.pick(r))
+		if k < 0 || k >= 1000 {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	uniformShare := draws / 1000
+	if counts[0] < 10*uniformShare {
+		t.Errorf("key 0 drawn %d times; want heavy skew (uniform share is %d)", counts[0], uniformShare)
+	}
+
+	// The uniform path must keep covering the keyspace.
+	u := &Micro{Keys: 1000}
+	hi := 0
+	for i := 0; i < draws; i++ {
+		if k := int(u.pick(r)); k > hi {
+			hi = k
+		}
+	}
+	if hi < 900 {
+		t.Errorf("uniform picks topped out at %d of 999", hi)
+	}
+}
+
+func TestMicroZipfPerWorkerGenerators(t *testing.T) {
+	// Two workers (two rands) must get independent generators keyed by
+	// their own *rand.Rand — same seeds, same streams.
+	m := &Micro{Keys: 512, ZipfS: 1.5}
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a, b := m.pick(r1), m.pick(r2)
+		if a != b {
+			t.Fatalf("draw %d: same-seeded workers diverged (%d vs %d)", i, a, b)
+		}
+	}
+	if len(m.zipfs) != 2 {
+		t.Fatalf("generator map holds %d entries, want 2", len(m.zipfs))
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"pandora/internal/cache"
 	"pandora/internal/core"
 	"pandora/internal/fdetect"
 	"pandora/internal/kvlayout"
@@ -138,6 +139,14 @@ type Config struct {
 	// NoAutoRecover disables automatic recovery on failure events; the
 	// caller drives the recovery manager directly.
 	NoAutoRecover bool
+
+	// ReadCacheSize sizes each coordinator's validated read cache, in
+	// entries. 0 selects the default size; negative disables the cache —
+	// the no-cache baseline read-path experiments compare against. A
+	// cache hit serves the value compute-side with zero fabric round
+	// trips; OCC validation re-reads the version at commit, so a stale
+	// hit costs an abort, never a wrong result (DESIGN.md §11).
+	ReadCacheSize int
 }
 
 func (c *Config) fillDefaults() error {
@@ -263,6 +272,7 @@ func New(cfg Config) (*Cluster, error) {
 		StallOnConflict: cfg.StallOnConflict,
 		Persist:         cfg.Persistence,
 		VerbTimeout:     cfg.VerbTimeout,
+		ReadCacheSize:   cfg.ReadCacheSize,
 	}
 	var peers []recovery.ComputePeer
 	for i := 0; i < cfg.ComputeNodes; i++ {
@@ -489,6 +499,17 @@ func (c *Cluster) node(i int) *core.ComputeNode {
 // Engine exposes the underlying compute node for advanced use (crash
 // injection in the litmus framework, clock attachment in benches).
 func (c *Cluster) Engine(node int) *core.ComputeNode { return c.node(node) }
+
+// CacheStats is the per-coordinator validated read cache counter set
+// (hits, misses, puts, invalidations, evictions).
+type CacheStats = cache.Stats
+
+// ReadCacheStats returns one coordinator's validated read cache
+// counters (all zero when the cache is disabled via a negative
+// Config.ReadCacheSize).
+func (c *Cluster) ReadCacheStats(node, coord int) CacheStats {
+	return c.node(node).Coordinator(coord).ReadCacheStats()
+}
 
 // AttachClock attaches a fresh virtual clock to a coordinator and
 // returns it; subsequent transactions on that session charge modelled

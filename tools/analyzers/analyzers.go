@@ -150,6 +150,7 @@ var virtualTimeSegs = map[string]bool{
 	"rdma":     true,
 	"recovery": true,
 	"chaos":    true,
+	"cache":    true,
 }
 
 // BasePkgPath strips the " [pkg.test]" variant suffix go list/go vet

@@ -31,7 +31,9 @@ test:
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench . -benchtime 100x ./internal/rdma/
 	$(GO) test -run 'TestHitPathZeroAlloc' ./internal/cache/
-	$(GO) run ./cmd/pandora-bench -experiment readcache -quick -json $(BIN)/BENCH_readcache.json
+	$(GO) test -race ./internal/metrics/
+	$(GO) test -run 'ZeroAlloc' ./internal/metrics/ ./internal/rdma/
+	$(GO) run ./cmd/pandora-bench -experiment readcache -quick -json $(BIN)/BENCH_readcache.json -metrics $(BIN)/BENCH_metrics.json
 
 chaos-smoke:
 	$(GO) test -race -short ./internal/chaos/

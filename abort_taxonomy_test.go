@@ -1,0 +1,186 @@
+package pandora_test
+
+import (
+	"testing"
+
+	pandora "pandora"
+)
+
+// TestAbortTaxonomy forces each typed abort reason through the public
+// fault surface, one sub-test per reason, and asserts exactly that
+// counter increments — no cross-talk between reasons, and the error's
+// AbortKindOf classification agrees with the counter.
+func TestAbortTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		kind pandora.AbortKind
+		cfg  func(*pandora.Config)
+		// errless marks scenarios that count an abort without surfacing
+		// an error (a clean user Abort returns nil).
+		errless bool
+		// run performs the aborting operation and returns its error.
+		// The cluster has keys 0..31 preloaded in table "kv".
+		run func(t *testing.T, c *pandora.Cluster) error
+	}{
+		{
+			name: "validation-version",
+			kind: pandora.AbortValidationVersion,
+			cfg:  func(cfg *pandora.Config) { cfg.ReadCacheSize = -1 }, // fabric reads only
+			run: func(t *testing.T, c *pandora.Cluster) error {
+				stale := c.Session(0, 0).Begin()
+				if _, err := stale.Read("kv", 3); err != nil {
+					t.Fatalf("stale read: %v", err)
+				}
+				mv := c.Session(1, 0).Begin()
+				if err := mv.Write("kv", 3, u64(99)); err != nil {
+					t.Fatalf("move write: %v", err)
+				}
+				if err := mv.Commit(); err != nil {
+					t.Fatalf("move commit: %v", err)
+				}
+				return stale.Commit()
+			},
+		},
+		{
+			name: "cache-stale",
+			kind: pandora.AbortCacheStale,
+			cfg:  nil, // cache on (default size)
+			run: func(t *testing.T, c *pandora.Cluster) error {
+				// Warm key 3 into node 0's coordinator cache with a
+				// committed read, move the version from node 1, then
+				// commit against the now-stale cache hit.
+				warm := c.Session(0, 0).Begin()
+				if _, err := warm.Read("kv", 3); err != nil {
+					t.Fatalf("warm read: %v", err)
+				}
+				if err := warm.Commit(); err != nil {
+					t.Fatalf("warm commit: %v", err)
+				}
+				mv := c.Session(1, 0).Begin()
+				if err := mv.Write("kv", 3, u64(99)); err != nil {
+					t.Fatalf("move write: %v", err)
+				}
+				if err := mv.Commit(); err != nil {
+					t.Fatalf("move commit: %v", err)
+				}
+				stale := c.Session(0, 0).Begin()
+				if _, err := stale.Read("kv", 3); err != nil {
+					t.Fatalf("stale hit read: %v", err)
+				}
+				return stale.Commit()
+			},
+		},
+		{
+			name: "lock-conflict",
+			kind: pandora.AbortLockConflict,
+			cfg:  nil,
+			run: func(t *testing.T, c *pandora.Cluster) error {
+				holder := c.Session(0, 0).Begin()
+				if err := holder.Write("kv", 7, u64(1)); err != nil {
+					t.Fatalf("holder write: %v", err)
+				}
+				// holder keeps 7's write lock; the read hits it.
+				reader := c.Session(1, 0).Begin()
+				_, err := reader.Read("kv", 7)
+				if err == nil {
+					t.Fatal("read under a held lock succeeded")
+				}
+				return err
+			},
+		},
+		{
+			name: "steal",
+			kind: pandora.AbortSteal,
+			cfg:  nil,
+			run: func(t *testing.T, c *pandora.Cluster) error {
+				// claimer publishes an in-flight insert claim for a fresh
+				// key; the racing insert finds the claim held by a live
+				// (non-stray) coordinator and aborts on the steal path.
+				claimer := c.Session(0, 0).Begin()
+				if err := claimer.Insert("kv", 1000, u64(1)); err != nil {
+					t.Fatalf("claimer insert: %v", err)
+				}
+				racer := c.Session(1, 0).Begin()
+				err := racer.Insert("kv", 1000, u64(2))
+				if err == nil {
+					t.Fatal("racing insert of a claimed key succeeded")
+				}
+				return err
+			},
+		},
+		{
+			name: "fault",
+			kind: pandora.AbortFault,
+			cfg:  nil,
+			run: func(t *testing.T, c *pandora.Cluster) error {
+				// Partition node 0 from every memory server: the read's
+				// verbs fail and the transaction aborts on the fault path.
+				c.PartitionLink(0, 0)
+				c.PartitionLink(0, 1)
+				tx := c.Session(0, 0).Begin()
+				_, err := tx.Read("kv", 2)
+				if err == nil {
+					t.Fatal("read over a fully partitioned fabric succeeded")
+				}
+				return err
+			},
+		},
+		{
+			name:    "other",
+			kind:    pandora.AbortOther,
+			cfg:     nil,
+			errless: true, // a clean user Abort returns nil but is counted
+			run: func(t *testing.T, c *pandora.Cluster) error {
+				tx := c.Session(0, 0).Begin()
+				if err := tx.Write("kv", 9, u64(4)); err != nil {
+					t.Fatalf("write: %v", err)
+				}
+				return tx.Abort() // explicit user abort
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			if tc.cfg != nil {
+				tc.cfg(&cfg)
+			}
+			c, err := pandora.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.LoadN("kv", 32, func(k pandora.Key) []byte { return u64(uint64(k)) }); err != nil {
+				t.Fatal(err)
+			}
+
+			before := c.MetricsSnapshot()
+			err = tc.run(t, c)
+			delta := c.MetricsSnapshot().Sub(before)
+
+			if tc.errless {
+				if err != nil {
+					t.Fatalf("scenario error = %v, want nil", err)
+				}
+			} else {
+				if !pandora.IsAborted(err) {
+					t.Fatalf("scenario error = %v, want an abort", err)
+				}
+				kind, ok := pandora.AbortKindOf(err)
+				if !ok || kind != tc.kind {
+					t.Fatalf("AbortKindOf = (%v, %v), want (%v, true); err: %v", kind, ok, tc.kind, err)
+				}
+			}
+			for _, a := range delta.Aborts {
+				want := uint64(0)
+				if a.Reason == tc.kind.String() {
+					want = 1
+				}
+				if a.Count != want {
+					t.Errorf("abort counter %s = %d, want %d (no cross-talk); err: %v", a.Reason, a.Count, want, err)
+				}
+			}
+		})
+	}
+}

@@ -451,18 +451,32 @@ func TestBankConservationAcrossComputeFailure(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
+	// The sweep session's read cache may hold entries made stale by the
+	// other coordinators' transfers; a stale hit is rejected (and
+	// invalidated) at commit, so retry validation aborts — the retry
+	// reads the committed state.
 	var total uint64
 	s := c.Session(1, 0)
-	tx := s.Begin()
-	for k := pandora.Key(0); k < 32; k++ {
-		v, err := tx.Read("kv", k)
-		if err != nil {
-			t.Fatalf("read %d: %v", k, err)
+	for attempt := 0; ; attempt++ {
+		total = 0
+		tx := s.Begin()
+		err := func() error {
+			for k := pandora.Key(0); k < 32; k++ {
+				v, err := tx.Read("kv", k)
+				if err != nil {
+					return err
+				}
+				total += binary.LittleEndian.Uint64(v)
+			}
+			return tx.Commit()
+		}()
+		if err == nil {
+			break
 		}
-		total += binary.LittleEndian.Uint64(v)
-	}
-	if err := tx.Commit(); err != nil {
-		t.Fatal(err)
+		_ = tx.Abort()
+		if !pandora.IsAborted(err) || attempt >= 8 {
+			t.Fatalf("conservation sweep (attempt %d): %v", attempt, err)
+		}
 	}
 	if total != wantTotal {
 		t.Fatalf("total = %d, want %d — recovery created or destroyed money", total, wantTotal)

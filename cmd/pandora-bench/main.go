@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +33,8 @@ func main() {
 func benchMain() int {
 	experiment := flag.String("experiment", "all", "experiment id: all, table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, scan, tradrec, tradss, distfd, persist, readcache")
 	quick := flag.Bool("quick", false, "run at CI scale instead of full scale")
-	jsonOut := flag.String("json", "", "also write machine-readable results of JSON-capable experiments (readcache) to this file")
+	jsonOut := flag.String("json", "", "also write machine-readable results of JSON-capable experiments (readcache, table2) to this file")
+	metricsOut := flag.String("metrics", "", "write the deterministic observability artifact (per-phase latency percentiles, abort taxonomy, verb counters) of metrics-capable experiments (table2, readcache) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -74,11 +76,29 @@ func benchMain() int {
 			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "distfd", "persist",
 			"readcache"}
 	}
+	metricsRes := map[string]*bench.MetricsResult{}
 	for _, id := range ids {
-		if err := run(id, s, litmusIters, steadyTx, *jsonOut); err != nil {
+		if err := run(id, s, litmusIters, steadyTx, *jsonOut, *metricsOut != "", metricsRes); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			return 1
 		}
+	}
+	if *metricsOut != "" {
+		if len(metricsRes) == 0 {
+			fmt.Fprintf(os.Stderr, "-metrics: no metrics-capable experiment in %q\n", *experiment)
+			return 1
+		}
+		data, err := json.MarshalIndent(metricsRes, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-metrics: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "-metrics: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[wrote %s]\n", *metricsOut)
 	}
 	return 0
 }
@@ -103,7 +123,7 @@ func section(id, paper string) {
 	fmt.Printf("\n===== %s (%s) =====\n", id, paper)
 }
 
-func run(id string, s bench.Scale, litmusIters, steadyTx int, jsonOut string) error {
+func run(id string, s bench.Scale, litmusIters, steadyTx int, jsonOut string, wantMetrics bool, metricsRes map[string]*bench.MetricsResult) error {
 	start := time.Now()
 	defer func() { fmt.Printf("[%s took %v]\n", id, time.Since(start).Round(time.Millisecond)) }()
 	switch id {
@@ -121,6 +141,27 @@ func run(id string, s bench.Scale, litmusIters, steadyTx int, jsonOut string) er
 			return err
 		}
 		fmt.Print(r)
+		if jsonOut != "" || wantMetrics {
+			// The throughput run above races wall-clock workers, so the
+			// machine-readable artifact comes from the deterministic
+			// observability side pass (byte-identical per seed).
+			m, err := bench.MetricsPass(id, s, steadyTx)
+			if err != nil {
+				return err
+			}
+			fmt.Print(m)
+			metricsRes[id] = m
+			if jsonOut != "" {
+				data, err := m.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("[wrote %s]\n", jsonOut)
+			}
+		}
 	case "tradrec":
 		section(id, "§6.1: traditional lock-logging recovery latency")
 		r, err := bench.Table2(s, pandora.ProtocolTradLog)
@@ -215,6 +256,13 @@ func run(id string, s bench.Scale, litmusIters, steadyTx int, jsonOut string) er
 				return err
 			}
 			fmt.Printf("[wrote %s]\n", jsonOut)
+		}
+		if wantMetrics {
+			m, err := bench.MetricsPass(id, s, steadyTx)
+			if err != nil {
+				return err
+			}
+			metricsRes[id] = m
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 	keys := flag.Int("keys", 48, "workload keys")
 	timeout := flag.Duration("timeout", 500*time.Microsecond, "verb deadline on stalled/slow links")
 	escalate := flag.Bool("escalate", false, "enable FD suspicion escalation (event log becomes best-effort)")
+	metricsOut := flag.String("metrics", "", "write the run's observability snapshot (phase histograms, abort taxonomy, verb counters) as JSON to this file; the stdout event log stays untouched")
 	flag.Parse()
 
 	res, err := chaos.Run(chaos.Config{
@@ -60,6 +62,20 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "events=%d audits=%d acked=%d aborted=%d unknown=%d\n",
 		res.Events, res.Audits, res.Acked, res.Aborted, res.Unknown)
+	if *metricsOut != "" {
+		// The snapshot counts a workload that races the schedule, so it is
+		// diagnostic (not seed-reproducible) and kept off stdout.
+		data, err := json.MarshalIndent(res.Metrics, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pandora-chaos: metrics: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*metricsOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pandora-chaos: metrics: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+	}
 	if n := len(res.Violations); n > 0 {
 		fmt.Fprintf(os.Stderr, "RESULT: %d violation(s)\n", n)
 		os.Exit(1)

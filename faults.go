@@ -117,6 +117,7 @@ func (c *Cluster) RestartCompute(i int) error {
 		Persist:         c.cfg.Persistence,
 		VerbTimeout:     c.cfg.VerbTimeout,
 		ReadCacheSize:   c.cfg.ReadCacheSize,
+		Metrics:         c.met,
 	}
 	ring := c.mgr.Ring()
 	cn := core.NewComputeNode(c.fab, nodeID, ring, c.schema, ids, opts)

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	pandora "pandora"
+	"pandora/internal/core"
+	"pandora/internal/kvlayout"
+	"pandora/internal/workload"
+)
+
+// MetricsResult is the observability artifact of one experiment: the
+// full registry snapshot — per-phase latency histograms (p50/p95/p99 in
+// virtual nanoseconds), the typed abort taxonomy, and per-(node, verb)
+// fabric counters — of a deterministic side pass. The throughput
+// experiments race wall-clock workers against the fault schedule, so
+// their own counters are not reproducible; the side pass replays the
+// same protocol phases sequentially on seeded virtual clocks, making
+// the emitted JSON byte-identical for a given seed.
+type MetricsResult struct {
+	Experiment string          `json:"experiment"`
+	Protocol   string          `json:"protocol"`
+	Txns       int             `json:"txns"`
+	Seed       int64           `json:"seed"`
+	Metrics    pandora.Metrics `json:"metrics"`
+}
+
+// JSON renders the result as the BENCH_metrics.json artifact.
+func (r *MetricsResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders a human-readable summary: non-empty phases and abort
+// reasons, and the total verb rows.
+func (r *MetricsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability pass (%s, %s, %d txns, seed %d):\n",
+		r.Experiment, r.Protocol, r.Txns, r.Seed)
+	for _, p := range r.Metrics.Phases {
+		if p.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  phase %-13s n=%-6d p50=%dns p95=%dns p99=%dns max=%dns\n",
+			p.Phase, p.Count, p.P50, p.P95, p.P99, p.Max)
+	}
+	for _, a := range r.Metrics.Aborts {
+		if a.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  abort %-18s %d\n", a.Reason, a.Count)
+	}
+	var issued, retried, expired, faulted uint64
+	for _, v := range r.Metrics.Verbs {
+		issued += v.Issued
+		retried += v.Retried
+		expired += v.DeadlineExpired
+		faulted += v.Faulted
+	}
+	fmt.Fprintf(&b, "  verbs: %d issued, %d retried, %d deadline-expired, %d faulted over %d (node, verb) rows\n",
+		issued, retried, expired, faulted, len(r.Metrics.Verbs))
+	return b.String()
+}
+
+// MetricsPass runs the deterministic observability pass for experiment
+// id ("table2" additionally drives a compute failure + log recovery so
+// the recovery-step histogram is populated). The workload runs
+// sequentially on one coordinator per node with the paper's latency
+// model attached: every histogram sample is virtual time and every verb
+// is issued in program order, so two runs with the same seed produce
+// byte-identical snapshots.
+func MetricsPass(id string, s Scale, txns int) (*MetricsResult, error) {
+	const seed = 42
+	proto := pandora.ProtocolPandora
+	w := &workload.Micro{Keys: s.Keys, ZipfS: 1.3}
+	c, err := clusterFor(w, func(cfg *pandora.Config) {
+		cfg.Protocol = proto
+		cfg.ComputeNodes = 2
+		cfg.CoordinatorsPerNode = 1
+		cfg.ModelLatency = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.AttachClock(0, 0)
+	c.AttachClock(1, 0)
+
+	s0 := c.Session(0, 0)
+	s1 := c.Session(1, 0)
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(s.Keys-1))
+	val := make([]byte, 40)
+
+	// Seeded sequential workload: 4-op read/write transactions on one
+	// coordinator, committing through every protocol phase.
+	for i := 0; i < txns; i++ {
+		tx := s0.Begin()
+		ok := true
+		for j := 0; j < 4; j++ {
+			k := pandora.Key(z.Uint64())
+			var err error
+			if j%2 == 0 {
+				_, err = tx.Read("micro", k)
+			} else {
+				err = tx.Write("micro", k, val)
+			}
+			if err != nil {
+				if !tx.Done() {
+					_ = tx.Abort()
+				}
+				if !pandora.IsAborted(err) {
+					return nil, fmt.Errorf("metrics pass op: %w", err)
+				}
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if err := tx.Commit(); err != nil && !pandora.IsAborted(err) {
+				return nil, fmt.Errorf("metrics pass commit: %w", err)
+			}
+		}
+	}
+
+	// Deterministic conflict block: exercise the abort taxonomy so the
+	// artifact carries every reason a live system would see. Keys sit
+	// beyond the zipf hot set to keep the block independent of the
+	// workload above.
+	for i := 0; i < 4; i++ {
+		k := pandora.Key(i)
+		// Stale read: t reads k, a racing commit moves the version, t's
+		// validation fails (validation-version on the first pass,
+		// cache-stale once t's coordinator has k cached).
+		t := s1.Begin()
+		if _, err := t.Read("micro", k); err != nil {
+			return nil, fmt.Errorf("conflict read: %w", err)
+		}
+		u := s0.Begin()
+		if err := u.Write("micro", k, val); err != nil {
+			return nil, fmt.Errorf("conflict write: %w", err)
+		}
+		if err := u.Commit(); err != nil {
+			return nil, fmt.Errorf("conflict commit: %w", err)
+		}
+		if err := t.Commit(); err != nil && !pandora.IsAborted(err) {
+			return nil, fmt.Errorf("conflict stale commit: %w", err)
+		}
+		// Cache-stale: warm k in s1's validated read cache with a
+		// committed read, move the version from s0, then hit the now-
+		// stale entry — validation classifies the abort as cache-stale.
+		warm := s1.Begin()
+		if _, err := warm.Read("micro", k); err != nil {
+			return nil, fmt.Errorf("warm read: %w", err)
+		}
+		if err := warm.Commit(); err != nil && !pandora.IsAborted(err) {
+			return nil, fmt.Errorf("warm commit: %w", err)
+		}
+		mv := s0.Begin()
+		if err := mv.Write("micro", k, val); err != nil {
+			return nil, fmt.Errorf("move write: %w", err)
+		}
+		if err := mv.Commit(); err != nil {
+			return nil, fmt.Errorf("move commit: %w", err)
+		}
+		stale := s1.Begin()
+		if _, err := stale.Read("micro", k); err != nil {
+			return nil, fmt.Errorf("stale hit read: %w", err)
+		}
+		if err := stale.Commit(); err != nil && !pandora.IsAborted(err) {
+			return nil, fmt.Errorf("stale hit commit: %w", err)
+		}
+		// Lock conflict: v holds k's write lock, r's read hits it.
+		v := s0.Begin()
+		if err := v.Write("micro", k, val); err != nil {
+			return nil, fmt.Errorf("lock write: %w", err)
+		}
+		r := s1.Begin()
+		if _, err := r.Read("micro", k); err == nil {
+			_ = r.Abort()
+		} else if !pandora.IsAborted(err) {
+			return nil, fmt.Errorf("lock-conflict read: %w", err)
+		}
+		_ = v.Abort()
+	}
+
+	if id == "table2" {
+		// Park one logged transaction and fail its node: the recovery
+		// manager's log read / roll / truncate steps land in the
+		// recovery-step histogram, all on the recovery's virtual clock.
+		victim := c.Engine(0)
+		victim.SetInjector(func(_ kvlayout.CoordID, p core.CrashPoint) bool {
+			return p == core.PointAfterLog
+		})
+		tx := s0.Begin()
+		if err := tx.Write("micro", 1, val); err != nil {
+			return nil, fmt.Errorf("recovery setup write: %w", err)
+		}
+		_ = tx.Commit() // crashes at the post-logging point
+		if _, err := c.FailCompute(0); err != nil {
+			return nil, fmt.Errorf("metrics pass recovery: %w", err)
+		}
+	}
+
+	return &MetricsResult{
+		Experiment: id,
+		Protocol:   proto.String(),
+		Txns:       txns,
+		Seed:       seed,
+		Metrics:    c.MetricsSnapshot(),
+	}, nil
+}

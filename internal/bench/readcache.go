@@ -41,6 +41,12 @@ type ReadCacheResult struct {
 
 	AbortsCached   int `json:"aborts_cached"`
 	AbortsBaseline int `json:"aborts_baseline"`
+
+	// Metrics is the cached pass's full observability snapshot (phase
+	// histograms in virtual nanoseconds, abort taxonomy, per-node verb
+	// counters). The pass is sequential and seeded on a virtual clock,
+	// so this section is byte-identical across runs.
+	Metrics pandora.Metrics `json:"metrics"`
 }
 
 // String renders the result.
@@ -72,14 +78,15 @@ func ReadCache(s Scale, txns int) (*ReadCacheResult, error) {
 	const zipfS = 1.3
 	r := &ReadCacheResult{Keys: s.Keys, Txns: txns, OpsPerTx: ops, ZipfS: zipfS}
 
-	cLat, cAborts, stats, err := readCachePass(s, txns, ops, zipfS, 0)
+	cLat, cAborts, stats, met, err := readCachePass(s, txns, ops, zipfS, 0)
 	if err != nil {
 		return nil, err
 	}
-	bLat, bAborts, _, err := readCachePass(s, txns, ops, zipfS, -1)
+	bLat, bAborts, _, _, err := readCachePass(s, txns, ops, zipfS, -1)
 	if err != nil {
 		return nil, err
 	}
+	r.Metrics = met
 
 	r.Hits, r.Misses = stats.Hits, stats.Misses
 	r.HitRate = stats.HitRate()
@@ -97,7 +104,7 @@ func ReadCache(s Scale, txns int) (*ReadCacheResult, error) {
 // readCachePass runs one measurement pass with the given cache size and
 // returns the per-read virtual latencies, the abort count, and the
 // coordinator's cache counters.
-func readCachePass(s Scale, txns, ops int, zipfS float64, cacheSize int) ([]time.Duration, int, cache.Stats, error) {
+func readCachePass(s Scale, txns, ops int, zipfS float64, cacheSize int) ([]time.Duration, int, cache.Stats, pandora.Metrics, error) {
 	w := &workload.Micro{Keys: s.Keys}
 	c, err := clusterFor(w, func(cfg *pandora.Config) {
 		cfg.ComputeNodes = 1
@@ -106,7 +113,7 @@ func readCachePass(s Scale, txns, ops int, zipfS float64, cacheSize int) ([]time
 		cfg.ReadCacheSize = cacheSize
 	})
 	if err != nil {
-		return nil, 0, cache.Stats{}, err
+		return nil, 0, cache.Stats{}, pandora.Metrics{}, err
 	}
 	defer c.Close()
 
@@ -127,7 +134,7 @@ func readCachePass(s Scale, txns, ops int, zipfS float64, cacheSize int) ([]time
 					_ = tx.Abort()
 				}
 				if !pandora.IsAborted(err) {
-					return nil, 0, cache.Stats{}, fmt.Errorf("read key %d: %w", uint64(k), err)
+					return nil, 0, cache.Stats{}, pandora.Metrics{}, fmt.Errorf("read key %d: %w", uint64(k), err)
 				}
 				aborts++
 				failed = true
@@ -140,12 +147,12 @@ func readCachePass(s Scale, txns, ops int, zipfS float64, cacheSize int) ([]time
 		}
 		if err := tx.Commit(); err != nil {
 			if !pandora.IsAborted(err) {
-				return nil, 0, cache.Stats{}, fmt.Errorf("commit: %w", err)
+				return nil, 0, cache.Stats{}, pandora.Metrics{}, fmt.Errorf("commit: %w", err)
 			}
 			aborts++
 		}
 	}
-	return lats, aborts, c.ReadCacheStats(0, 0), nil
+	return lats, aborts, c.ReadCacheStats(0, 0), c.MetricsSnapshot(), nil
 }
 
 // latSummary returns (p50, p99, mean) of a latency sample.

@@ -105,6 +105,12 @@ type Result struct {
 	Acked      int64    // transactions acknowledged committed
 	Aborted    int64    // transactions aborted (retried by workers)
 	Unknown    int64    // transactions with unresolved outcome
+	// Metrics is the scenario's full observability delta (phase
+	// histograms, abort taxonomy, verb counters). It is reported out of
+	// band — never into Logf, whose output must stay byte-identical per
+	// seed (the workload races the schedule, so counts are not
+	// deterministic).
+	Metrics pandora.Metrics
 }
 
 type engine struct {
@@ -244,6 +250,7 @@ func Run(cfg Config) (*Result, error) {
 	res.Acked = e.acked.Load()
 	res.Aborted = e.aborted.Load()
 	res.Unknown = e.unknown.Load()
+	res.Metrics = e.c.MetricsSnapshot()
 	if res.Acked == 0 {
 		res.Violations = append(res.Violations, "workload acknowledged zero commits")
 		cfg.Logf("VIOLATION: workload acknowledged zero commits")

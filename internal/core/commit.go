@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pandora/internal/kvlayout"
+	"pandora/internal/metrics"
 	"pandora/internal/rdma"
 )
 
@@ -117,10 +118,12 @@ func (tx *Tx) Commit() error {
 		}
 	}
 
+	validateStart := tx.phaseClock()
 	ok, err := tx.validate()
 	if err != nil {
 		return err
 	}
+	tx.recordPhase(metrics.PhaseValidate, validateStart)
 	if tx.cn.opts.PostValidateDelay != nil {
 		tx.cn.opts.PostValidateDelay()
 	}
@@ -149,7 +152,10 @@ func (tx *Tx) Commit() error {
 	}
 
 	if !ok {
-		return tx.abort("validation failed")
+		// Only the RelaxedLocks deferred-CAS path reaches here with a
+		// commit-time lock loss — ordinary validation failures abort
+		// inside validate with their precise kind.
+		return tx.abort(metrics.AbortLockConflict, "validation failed")
 	}
 	if tx.cn.crashAt(tx.co.id, PointAfterValidation) {
 		return tx.crash()
@@ -167,15 +173,18 @@ func (tx *Tx) Commit() error {
 	// transaction reached its commit decision point. FORD-mode already
 	// logged during execution.
 	if tx.cn.opts.Protocol != ProtocolFORD {
+		logStart := tx.phaseClock()
 		if err := tx.writePandoraLog(); err != nil {
 			return err
 		}
+		tx.recordPhase(metrics.PhaseLog, logStart)
 		if tx.cn.crashAt(tx.co.id, PointAfterLog) {
 			return tx.crash()
 		}
 	}
 
 	// Commit step 1: apply every write to every replica.
+	commitBackStart := tx.phaseClock()
 	if err := tx.applyWrites(); err != nil {
 		return err
 	}
@@ -230,6 +239,7 @@ func (tx *Tx) Commit() error {
 	if err := tx.unlockAll(false); err != nil {
 		return tx.postAckFailure(err)
 	}
+	tx.recordPhase(metrics.PhaseCommitBack, commitBackStart)
 	if tx.cn.crashAt(tx.co.id, PointAfterUnlock) {
 		return tx.crash()
 	}
@@ -269,11 +279,12 @@ func (tx *Tx) validate() (bool, error) {
 			if errors.Is(err, rdma.ErrCrashed) {
 				return false, tx.crash()
 			}
-			return false, tx.abort("insert validation: " + err.Error())
+			return false, tx.abort(metrics.AbortFault, "insert validation: "+err.Error())
 		}
 		if dup {
-			return false, tx.abort(fmt.Sprintf("insert validation: key %d/%d claimed elsewhere",
-				w.ref.table, w.ref.key))
+			return false, tx.abort(metrics.AbortSteal,
+				fmt.Sprintf("insert validation: key %d/%d claimed elsewhere",
+					w.ref.table, w.ref.key))
 		}
 	}
 	if len(tx.reads) == 0 {
@@ -284,7 +295,7 @@ func (tx *Tx) validate() (bool, error) {
 	for _, r := range tx.reads {
 		primary, _, err := tx.cn.replicasFor(r.ref.partition)
 		if err != nil {
-			return false, tx.abort("validation: no live replica: " + err.Error())
+			return false, tx.abort(metrics.AbortFault, "validation: no live replica: "+err.Error())
 		}
 		b.AddRead(tx.cn.tableAddr(primary, r.ref, kvlayout.SlotLockOff), b.Bytes(16))
 	}
@@ -315,7 +326,14 @@ func (tx *Tx) validate() (bool, error) {
 	}
 	if stale >= 0 {
 		r := tx.reads[stale]
-		return false, tx.abort(fmt.Sprintf("validation: version of %d/%d moved %d -> %d",
+		// A stale cache hit and a concurrent committer racing a fabric
+		// read are different stories: the former is the read cache's
+		// designed failure mode, the latter genuine OCC contention.
+		kind := metrics.AbortValidationVersion
+		if r.fromCache {
+			kind = metrics.AbortCacheStale
+		}
+		return false, tx.abort(kind, fmt.Sprintf("validation: version of %d/%d moved %d -> %d",
 			r.ref.table, r.ref.key, r.version, staleVersion))
 	}
 	for i, r := range tx.reads {
@@ -324,8 +342,9 @@ func (tx *Tx) validate() (bool, error) {
 			continue // seeded bug: lock word ignored during validation
 		}
 		if kvlayout.IsLocked(lock) && lock != tx.lockWord() && !tx.strayLock(lock) {
-			return false, tx.abort(fmt.Sprintf("validation: %d/%d locked by coordinator %d",
-				r.ref.table, r.ref.key, kvlayout.LockOwner(lock)))
+			return false, tx.abort(metrics.AbortLockConflict,
+				fmt.Sprintf("validation: %d/%d locked by coordinator %d",
+					r.ref.table, r.ref.key, kvlayout.LockOwner(lock)))
 		}
 	}
 	// Every read-set version just re-proved current: re-stamp the
@@ -497,7 +516,7 @@ func (tx *Tx) unlockAll(abortPath bool) error {
 // WITHOUT setting AckedAbort: a fenced zombie must never tell the
 // client "aborted" while recovery may roll the logged transaction
 // forward (Cor3's dual).
-func (tx *Tx) abortInternal(reason string) error {
+func (tx *Tx) abortInternal(kind metrics.AbortReason, reason string) error {
 	// Roll back replicas the commit write already reached (possible when
 	// an apply was cut short by a memory or link fault).
 	b := rdma.GetBatch()
@@ -542,7 +561,7 @@ func (tx *Tx) abortInternal(reason string) error {
 		return err
 	}
 	tx.AckedAbort = true
-	return &abortError{reason: reason}
+	return &abortError{kind: kind, reason: reason}
 }
 
 // undoPayload is the pre-image written over a rolled-back slot.
@@ -558,7 +577,7 @@ func (tx *Tx) Abort() error {
 	if tx.cn.crashed.Load() {
 		return tx.crash()
 	}
-	err := tx.abort("user abort")
+	err := tx.abort(metrics.AbortOther, "user abort")
 	if errors.Is(err, ErrAborted) {
 		return nil
 	}

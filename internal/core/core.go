@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"pandora/internal/kvlayout"
+	"pandora/internal/metrics"
 )
 
 // Protocol selects the transactional protocol variant.
@@ -137,6 +138,11 @@ type Options struct {
 	// never a wedged coordinator. Zero keeps the pre-deadline behaviour
 	// (verbs wait forever).
 	VerbTimeout time.Duration
+	// Metrics, when set, receives per-phase latency samples (recorded
+	// on the coordinator's virtual clock) and the typed abort counts.
+	// Nil disables recording at the cost of a nil check (the registry's
+	// methods are nil-safe, so the engine never guards calls itself).
+	Metrics *metrics.Registry
 }
 
 // Transaction outcome errors.
@@ -168,9 +174,10 @@ var (
 	ErrIndeterminate = errors.New("core: transaction cleanup incomplete")
 )
 
-// abortError carries the abort reason (and optional cause) while
-// matching ErrAborted.
+// abortError carries the typed abort kind and human-readable reason
+// (and optional cause) while matching ErrAborted.
 type abortError struct {
+	kind   metrics.AbortReason
 	reason string
 	cause  error
 }
@@ -178,6 +185,16 @@ type abortError struct {
 func (e *abortError) Error() string        { return "core: transaction aborted: " + e.reason }
 func (e *abortError) Is(target error) bool { return target == ErrAborted }
 func (e *abortError) Unwrap() error        { return e.cause }
+
+// AbortKindOf extracts the typed abort reason from an error returned by
+// Commit/Read/Write et al. ok is false when the error is not an abort.
+func AbortKindOf(err error) (kind metrics.AbortReason, ok bool) {
+	var ae *abortError
+	if errors.As(err, &ae) {
+		return ae.kind, true
+	}
+	return 0, false
+}
 
 // indeterminateError matches ErrIndeterminate while preserving the
 // underlying verb failure for errors.Is/As.

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"pandora/internal/kvlayout"
+	"pandora/internal/metrics"
 	"pandora/internal/rdma"
 )
 
@@ -84,7 +85,7 @@ func (tx *Tx) writePandoraLog() error {
 		}
 	}
 	if written == 0 {
-		return tx.abort("logging: every log server unreachable")
+		return tx.abort(metrics.AbortFault, "logging: every log server unreachable")
 	}
 	tx.logged = true
 	if tx.cn.opts.Persist {
@@ -140,7 +141,7 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 		// snapshots the replica set.
 		primary, all, err := tx.cn.replicasFor(ent.ref.partition)
 		if err != nil {
-			return tx.abort("no live replica: " + err.Error())
+			return tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
 		}
 		replicas = orderReplicas(primary, all)
 	}
@@ -152,7 +153,7 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 			cur = tx.logAreaOff() + kvlayout.TxLogOff
 		}
 		if cur+uint64(len(payload)) > tx.logAreaOff()+kvlayout.LockLogOff {
-			return tx.abort("ford log area full")
+			return tx.abort(metrics.AbortOther, "ford log area full")
 		}
 		b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: cur}, payload)
 		tx.fordLogAt[n] = cur + uint64(len(payload))
@@ -186,7 +187,7 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 		}
 	}
 	if written == 0 {
-		return tx.abort("ford logging: every replica unreachable")
+		return tx.abort(metrics.AbortFault, "ford logging: every replica unreachable")
 	}
 	tx.logged = true
 	if tx.cn.opts.Persist {
@@ -213,7 +214,7 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 // overhead PILL eliminates.
 func (tx *Tx) writeLockIntent(ref objRef) error {
 	if tx.intentIdx >= kvlayout.MaxLockIntents {
-		return tx.abort("lock-intent log full")
+		return tx.abort(metrics.AbortOther, "lock-intent log full")
 	}
 	payload := kvlayout.EncodeLockIntent(kvlayout.LockIntent{
 		TxID:      tx.id,
@@ -239,7 +240,7 @@ func (tx *Tx) writeLockIntent(ref objRef) error {
 		}
 	}
 	if written == 0 {
-		return tx.abort("lock-intent logging: every log server unreachable")
+		return tx.abort(metrics.AbortFault, "lock-intent logging: every log server unreachable")
 	}
 	tx.intentIdx++
 	return nil

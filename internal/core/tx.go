@@ -6,14 +6,19 @@ import (
 	"time"
 
 	"pandora/internal/kvlayout"
+	"pandora/internal/metrics"
 	"pandora/internal/rdma"
 )
 
-// readEnt is one read-set entry.
+// readEnt is one read-set entry. fromCache marks entries served by the
+// validated read cache: when validation rejects one, the abort is
+// classified cache-stale rather than validation-version (the staleness
+// was the cache's, not a concurrent writer racing a fabric read).
 type readEnt struct {
-	ref     objRef
-	version uint64
-	value   []byte
+	ref       objRef
+	version   uint64
+	value     []byte
+	fromCache bool
 }
 
 // writeEnt is one write-set entry.
@@ -101,21 +106,52 @@ func (tx *Tx) crash() error {
 }
 
 // abort runs the abort path (§3.1.5 step 3) and returns ErrAborted with
-// the reason.
-func (tx *Tx) abort(reason string) error {
-	return tx.abortCause(reason, nil)
+// the typed kind and human-readable reason.
+func (tx *Tx) abort(kind metrics.AbortReason, reason string) error {
+	return tx.abortCause(kind, reason, nil)
 }
 
 // abortCause aborts with an underlying cause preserved for errors.Is
-// (e.g. rdma.ErrRevoked after active-link termination).
-func (tx *Tx) abortCause(reason string, cause error) error {
-	err := tx.abortInternal(reason)
+// (e.g. rdma.ErrRevoked after active-link termination). This is the
+// single abort decision point, so the taxonomy counter is bumped here —
+// exactly once per abort, never on the fenced-zombie path (which is not
+// an abort; see verbFailure).
+func (tx *Tx) abortCause(kind metrics.AbortReason, reason string, cause error) error {
+	tx.cn.opts.Metrics.CountAbort(kind)
+	err := tx.abortInternal(kind, reason)
 	tx.release()
 	var ae *abortError
 	if errors.As(err, &ae) {
 		ae.cause = cause
 	}
 	return err
+}
+
+// phaseClock reads the coordinator's virtual clock (0 without a clock;
+// phase samples then all land in histogram bucket 0, keeping even
+// un-clocked runs deterministic).
+func (tx *Tx) phaseClock() time.Duration { return tx.co.ep.Clock().Now() }
+
+// recordPhase adds one latency sample for phase p, started at the given
+// phaseClock reading, sharded by coordinator id. Phases are recorded on
+// completion; a phase cut short by an abort or crash surfaces in the
+// abort taxonomy and verb counters instead of the histogram.
+func (tx *Tx) recordPhase(p metrics.Phase, start time.Duration) {
+	if m := tx.cn.opts.Metrics; m != nil {
+		m.RecordPhase(p, uint64(tx.co.id), tx.phaseClock()-start)
+	}
+}
+
+// resolve is the metered key-to-slot resolution (address cache plus
+// probe on a miss): every execution-phase lookup funnels through here
+// so the resolve histogram covers reads, writes and range scans alike.
+func (tx *Tx) resolve(table kvlayout.TableID, key kvlayout.Key) (objRef, bool, error) {
+	start := tx.phaseClock()
+	ref, found, err := tx.cn.resolve(tx.co.ep, table, key)
+	if err == nil {
+		tx.recordPhase(metrics.PhaseResolve, start)
+	}
+	return ref, found, err
 }
 
 func (tx *Tx) findWrite(table kvlayout.TableID, key kvlayout.Key) *writeEnt {
@@ -170,9 +206,10 @@ func (tx *Tx) Read(table kvlayout.TableID, key kvlayout.Key) ([]byte, error) {
 	if rc := tx.co.rcache; rc != nil {
 		if v, ok := rc.Get(table, key, tx.cn.cacheEpoch.Load()); ok {
 			ent := &readEnt{
-				ref:     objRef{table: table, key: key, partition: v.Partition, slot: v.Slot},
-				version: v.Version,
-				value:   append([]byte(nil), v.Value...),
+				ref:       objRef{table: table, key: key, partition: v.Partition, slot: v.Slot},
+				version:   v.Version,
+				value:     append([]byte(nil), v.Value...),
+				fromCache: true,
 			}
 			tx.reads = append(tx.reads, ent)
 			if tx.cn.opts.LocalWork != nil {
@@ -182,17 +219,19 @@ func (tx *Tx) Read(table kvlayout.TableID, key kvlayout.Key) ([]byte, error) {
 		}
 	}
 
-	ref, found, err := tx.cn.resolve(tx.co.ep, table, key)
+	ref, found, err := tx.resolve(table, key)
 	if err != nil {
 		return nil, tx.verbFailure(err)
 	}
 	if !found {
 		return nil, ErrNotFound
 	}
+	readStart := tx.phaseClock()
 	slot, ref, err := tx.readSlotConsistent(ref)
 	if err != nil {
 		return nil, err
 	}
+	tx.recordPhase(metrics.PhaseRead, readStart)
 	if !slot.Present {
 		return nil, ErrNotFound
 	}
@@ -235,7 +274,7 @@ func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, objRef, error) {
 	for {
 		primary, _, err := tx.cn.replicasFor(ref.partition)
 		if err != nil {
-			return kvlayout.Slot{}, ref, tx.abort("no live replica: " + err.Error())
+			return kvlayout.Slot{}, ref, tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
 		}
 		if err := tx.co.ep.Read(tx.cn.tableAddr(primary, ref, 0), buf); err != nil {
 			return kvlayout.Slot{}, ref, tx.verbFailure(err)
@@ -244,7 +283,7 @@ func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, objRef, error) {
 		if slot.Present && slot.Key != ref.key {
 			// Stale cache: the slot was reused; re-probe once.
 			tx.cn.dropRef(ref.table, ref.key)
-			newRef, found, err := tx.cn.resolve(tx.co.ep, ref.table, ref.key)
+			newRef, found, err := tx.resolve(ref.table, ref.key)
 			if err != nil {
 				return kvlayout.Slot{}, ref, tx.verbFailure(err)
 			}
@@ -266,8 +305,9 @@ func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, objRef, error) {
 				}
 				continue
 			}
-			return kvlayout.Slot{}, ref, tx.abort(fmt.Sprintf("read of %d/%d found lock held by coordinator %d",
-				ref.table, ref.key, kvlayout.LockOwner(slot.Lock)))
+			return kvlayout.Slot{}, ref, tx.abort(metrics.AbortLockConflict,
+				fmt.Sprintf("read of %d/%d found lock held by coordinator %d",
+					ref.table, ref.key, kvlayout.LockOwner(slot.Lock)))
 		}
 		return slot, ref, nil
 	}
@@ -336,7 +376,7 @@ func (tx *Tx) verbFailure(err error) error {
 	if le := linkFault(err); le != nil {
 		tx.cn.reportSuspect(le.Dst)
 	}
-	return tx.abortCause("verb failed: "+err.Error(), err)
+	return tx.abortCause(metrics.AbortFault, "verb failed: "+err.Error(), err)
 }
 
 // Write stages an update of an existing key and eagerly locks it
@@ -356,7 +396,7 @@ func (tx *Tx) Write(table kvlayout.TableID, key kvlayout.Key, value []byte) erro
 		w.newValue = padValue(tab, value)
 		return nil
 	}
-	ref, found, err := tx.cn.resolve(tx.co.ep, table, key)
+	ref, found, err := tx.resolve(table, key)
 	if err != nil {
 		return tx.verbFailure(err)
 	}
@@ -376,7 +416,7 @@ func (tx *Tx) Delete(table kvlayout.TableID, key kvlayout.Key) error {
 		w.newValue = nil
 		return nil
 	}
-	ref, found, err := tx.cn.resolve(tx.co.ep, table, key)
+	ref, found, err := tx.resolve(table, key)
 	if err != nil {
 		return tx.verbFailure(err)
 	}
@@ -401,10 +441,12 @@ func (tx *Tx) Insert(table kvlayout.TableID, key kvlayout.Key, value []byte) err
 		return ErrExists
 	}
 	for attempt := 0; attempt < 8; attempt++ {
+		probeStart := tx.phaseClock()
 		res, err := tx.cn.probe(tx.co.ep, table, key)
 		if err != nil {
 			return tx.verbFailure(err)
 		}
+		tx.recordPhase(metrics.PhaseResolve, probeStart)
 		if res.found {
 			return ErrExists
 		}
@@ -416,8 +458,9 @@ func (tx *Tx) Insert(table kvlayout.TableID, key kvlayout.Key, value []byte) err
 			// via PILL stealing; otherwise it is an ordinary lock
 			// conflict.
 			if !tx.strayLock(res.claimedLock) {
-				return tx.abort(fmt.Sprintf("insert of %d/%d conflicts with in-flight claim by coordinator %d",
-					table, key, kvlayout.LockOwner(res.claimedLock)))
+				return tx.abort(metrics.AbortSteal,
+					fmt.Sprintf("insert of %d/%d conflicts with in-flight claim by coordinator %d",
+						table, key, kvlayout.LockOwner(res.claimedLock)))
 			}
 			slot = res.claimedSlot
 		case res.haveFree:
@@ -435,7 +478,7 @@ func (tx *Tx) Insert(table kvlayout.TableID, key kvlayout.Key, value []byte) err
 		}
 		return err
 	}
-	return tx.abort("insert: free-slot contention")
+	return tx.abort(metrics.AbortSteal, "insert: free-slot contention")
 }
 
 // errSlotContended is an internal retry signal for insert slot races.
@@ -459,9 +502,11 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 	}
 
 	if opts.Protocol == ProtocolTradLog {
+		logStart := tx.phaseClock()
 		if err := tx.writeLockIntent(ref); err != nil {
 			return err
 		}
+		tx.recordPhase(metrics.PhaseLog, logStart)
 	}
 
 	ent := &writeEnt{ref: ref, kind: kind, wasInsert: kind == kvlayout.WriteInsert, newValue: newValue}
@@ -481,7 +526,7 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 		// awaited before validation begins.
 		primary, all, err := cn.replicasFor(ref.partition)
 		if err != nil {
-			return tx.abort("no live replica: " + err.Error())
+			return tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
 		}
 		ent.replicas = orderReplicas(primary, all)
 		slot, newRef, err := tx.readSlotConsistent(ref)
@@ -507,10 +552,11 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 	lockOp := b.Add()
 	readOp := b.Add()
 	mismatches := 0
+	lockStart := tx.phaseClock()
 	for {
 		primary, all, err := cn.replicasFor(ref.partition)
 		if err != nil {
-			return tx.abort("no live replica: " + err.Error())
+			return tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
 		}
 		// The two ops are reused across retries: constant space no matter
 		// how often the lock bounces.
@@ -574,8 +620,9 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 					ent.replicas = orderReplicas(primary, all)
 					tx.writes = append(tx.writes, ent)
 				}
-				return tx.abort(fmt.Sprintf("lock of %d/%d held by coordinator %d",
-					ref.table, ref.key, kvlayout.LockOwner(old)))
+				return tx.abort(metrics.AbortLockConflict,
+					fmt.Sprintf("lock of %d/%d held by coordinator %d",
+						ref.table, ref.key, kvlayout.LockOwner(old)))
 			}
 		}
 		if cn.crashAt(tx.co.id, PointAfterLock) {
@@ -595,9 +642,9 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 			cn.dropRef(ref.table, ref.key)
 			mismatches++
 			if mismatches > 8 {
-				return tx.abort("lock: slot kept moving")
+				return tx.abort(metrics.AbortLockConflict, "lock: slot kept moving")
 			}
-			newRef, found, rerr := cn.resolve(tx.co.ep, ref.table, ref.key)
+			newRef, found, rerr := tx.resolve(ref.table, ref.key)
 			if rerr != nil {
 				return tx.verbFailure(rerr)
 			}
@@ -650,6 +697,7 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 		}
 		break
 	}
+	tx.recordPhase(metrics.PhaseLock, lockStart)
 
 	// The lock is held: the entry joins the write-set NOW, before any
 	// further verbs, so every later failure path — FORD logging below,
@@ -660,9 +708,11 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 	if opts.Protocol == ProtocolFORD && !opts.Bugs.LogWithoutLock {
 		skip := kind == kvlayout.WriteInsert && opts.Bugs.MissingInsertLog
 		if !skip {
+			logStart := tx.phaseClock()
 			if err := tx.fordLogObject(ent); err != nil {
 				return err
 			}
+			tx.recordPhase(metrics.PhaseLog, logStart)
 		}
 		if cn.crashAt(tx.co.id, PointAfterFORDLog) {
 			return tx.crash()
@@ -820,16 +870,17 @@ func (tx *Tx) readRangeChunk(table kvlayout.TableID, lo, hi kvlayout.Key, preRea
 		if rc := tx.co.rcache; rc != nil {
 			if v, ok := rc.Get(table, k, epoch); ok {
 				ent := &readEnt{
-					ref:     objRef{table: table, key: k, partition: v.Partition, slot: v.Slot},
-					version: v.Version,
-					value:   append([]byte(nil), v.Value...),
+					ref:       objRef{table: table, key: k, partition: v.Partition, slot: v.Slot},
+					version:   v.Version,
+					value:     append([]byte(nil), v.Value...),
+					fromCache: true,
 				}
 				tx.reads = append(tx.reads, ent)
 				vals[i], present[i] = ent.value, true
 				continue
 			}
 		}
-		ref, found, err := tx.cn.resolve(tx.co.ep, table, k)
+		ref, found, err := tx.resolve(table, k)
 		if err != nil {
 			return false, tx.verbFailure(err)
 		}
@@ -842,6 +893,7 @@ func (tx *Tx) readRangeChunk(table kvlayout.TableID, lo, hi kvlayout.Key, preRea
 	}
 
 	if misses > 0 {
+		readStart := tx.phaseClock()
 		b := rdma.GetBatch()
 		slotSize := int(tx.cn.schema[table].SlotSize())
 		na := 0
@@ -852,7 +904,7 @@ func (tx *Tx) readRangeChunk(table kvlayout.TableID, lo, hi kvlayout.Key, preRea
 			primary, _, err := tx.cn.replicasFor(refs[i].partition)
 			if err != nil {
 				b.Put()
-				return false, tx.abort("no live replica: " + err.Error())
+				return false, tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
 			}
 			addrs[na] = tx.cn.tableAddr(primary, refs[i], 0)
 			na++
@@ -901,6 +953,7 @@ func (tx *Tx) readRangeChunk(table kvlayout.TableID, lo, hi kvlayout.Key, preRea
 			tx.cacheRead(ent)
 			vals[i], present[i] = ent.value, true
 		}
+		tx.recordPhase(metrics.PhaseRead, readStart)
 	}
 
 	for i := 0; i < n; i++ {

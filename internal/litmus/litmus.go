@@ -160,14 +160,13 @@ func (s txStatus) String() string {
 	}
 }
 
-// RunTest executes one litmus test under cfg and returns its report.
-func RunTest(t Test, cfg Config) (Report, error) {
-	cfg.fill()
-	rep := Report{Test: t.Name, Iterations: cfg.Iterations}
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(len(t.Name))))
-
-	varsPerIter := len(t.Vars)
-	cluster, err := pandora.New(pandora.Config{
+// clusterConfig is the cluster shape one litmus test runs under. Kept
+// as a function so tests can pin its invariants — most importantly that
+// the validated read cache stays disabled: litmus observes the raw
+// protocol, and a cache hit skips the fabric read whose interleavings
+// the tests exist to expose.
+func clusterConfig(t Test, cfg Config) pandora.Config {
+	return pandora.Config{
 		ComputeNodes:        2,
 		CoordinatorsPerNode: (len(t.Txs)+1)/2 + 1,
 		Protocol:            cfg.Protocol,
@@ -177,9 +176,19 @@ func RunTest(t Test, cfg Config) (Report, error) {
 		// so it is disabled here.
 		ReadCacheSize: -1,
 		Tables: []pandora.TableSpec{
-			{Name: "litmus", ValueSize: 16, Capacity: cfg.Iterations*varsPerIter + 64},
+			{Name: "litmus", ValueSize: 16, Capacity: cfg.Iterations*len(t.Vars) + 64},
 		},
-	})
+	}
+}
+
+// RunTest executes one litmus test under cfg and returns its report.
+func RunTest(t Test, cfg Config) (Report, error) {
+	cfg.fill()
+	rep := Report{Test: t.Name, Iterations: cfg.Iterations}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(len(t.Name))))
+
+	varsPerIter := len(t.Vars)
+	cluster, err := pandora.New(clusterConfig(t, cfg))
 	if err != nil {
 		return rep, err
 	}

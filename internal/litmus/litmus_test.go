@@ -229,3 +229,18 @@ func TestModelKeyCanonical(t *testing.T) {
 		t.Fatal("model key collision")
 	}
 }
+
+// TestClusterConfigPinsNoReadCache: litmus must run against the raw
+// fabric — a validated-read-cache hit serves reads compute-side and
+// would mask exactly the read-time interleavings the litmus tests
+// exist to expose. Every litmus cluster must pin ReadCacheSize = -1
+// (disabled), not 0 (default-sized).
+func TestClusterConfigPinsNoReadCache(t *testing.T) {
+	for _, lt := range All() {
+		cfg := Config{}
+		cfg.fill()
+		if got := clusterConfig(lt, cfg).ReadCacheSize; got != -1 {
+			t.Errorf("litmus %q: ReadCacheSize = %d, want -1 (cache disabled)", lt.Name, got)
+		}
+	}
+}

@@ -226,6 +226,7 @@ func (ep *Endpoint) post(op *Op, fault time.Duration) time.Duration {
 	extra, err := ep.admit(op.Addr.Node, n)
 	if err != nil {
 		op.Err = err
+		ep.fab.countVerb(op, 0)
 		return 0
 	}
 	ns, r := ep.lookup(op.Addr.Node, op.Addr.Region)
@@ -235,6 +236,7 @@ func (ep *Endpoint) post(op *Op, fault time.Duration) time.Duration {
 	}
 	if err := ep.gateCheck(); err != nil {
 		op.Err = err
+		ep.fab.countVerb(op, 0)
 		return 0
 	}
 	if fault < 0 {
@@ -267,6 +269,7 @@ func (ep *Endpoint) post(op *Op, fault time.Duration) time.Duration {
 			op.Err = ErrNoRegion
 		}
 	}
+	ep.fab.countVerb(op, fault)
 	return d
 }
 

@@ -1,10 +1,14 @@
 package rdma
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"pandora/internal/metrics"
 )
 
 // Fabric is the switched network connecting every node's NIC. It owns
@@ -32,6 +36,35 @@ type Fabric struct {
 
 	// persist models NVM on memory nodes (see persist.go).
 	persist atomic.Bool
+
+	// met optionally counts every posted verb (issued / retried /
+	// deadline-expired / faulted, per destination node). Atomic so the
+	// verb path pays one load and a nil check when detached.
+	met atomic.Pointer[metrics.Registry]
+}
+
+// SetMetrics attaches (or, with nil, detaches) the verb-counter sink.
+func (f *Fabric) SetMetrics(m *metrics.Registry) { f.met.Store(m) }
+
+// countVerb reports one posted verb: issued always; retried when the
+// transport rolled retransmissions (fault > 0); the outcome from the
+// completion error — a deadline expiry counts as such, every other
+// error (partition, node down, revocation, crash, missing region) as
+// faulted. No-op when no sink is attached.
+func (f *Fabric) countVerb(op *Op, fault time.Duration) {
+	m := f.met.Load()
+	if m == nil {
+		return
+	}
+	outcome := metrics.VerbOK
+	switch {
+	case op.Err == nil:
+	case errors.Is(op.Err, ErrVerbTimeout):
+		outcome = metrics.VerbDeadlineExpired
+	default:
+		outcome = metrics.VerbFaulted
+	}
+	m.CountVerb(uint16(op.Addr.Node), metrics.Verb(op.Kind), fault > 0, outcome)
 }
 
 // nodeState carries one node's fabric-visible state. Each node also

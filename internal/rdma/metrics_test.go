@@ -1,0 +1,180 @@
+package rdma
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pandora/internal/metrics"
+)
+
+// TestVerbKindCorrespondence pins the cast the engine uses to report
+// verbs: metrics.Verb values must mirror OpKind ordering exactly.
+func TestVerbKindCorrespondence(t *testing.T) {
+	want := map[OpKind]string{
+		OpRead:  "READ",
+		OpWrite: "WRITE",
+		OpCAS:   "CAS",
+		OpFAA:   "FAA",
+		OpFlush: "FLUSH",
+	}
+	for kind, name := range want {
+		if got := metrics.Verb(kind).String(); got != name {
+			t.Errorf("metrics.Verb(OpKind %d) = %q, want %q", kind, got, name)
+		}
+	}
+	if int(metrics.NumVerbs) != 5 {
+		t.Errorf("NumVerbs = %d: a new OpKind needs a matching metrics.Verb", metrics.NumVerbs)
+	}
+}
+
+// verbRow extracts one (node, verb) row from a snapshot.
+func verbRow(t *testing.T, s metrics.Snapshot, node NodeID, verb string) metrics.VerbSnapshot {
+	t.Helper()
+	for _, v := range s.Verbs {
+		if v.Node == uint16(node) && v.Verb == verb {
+			return v
+		}
+	}
+	t.Fatalf("no %s row for node %d in snapshot", verb, node)
+	return metrics.VerbSnapshot{}
+}
+
+// TestVerbCountingPerNode: every posted verb is counted against its
+// destination; outcomes classify timeouts vs other faults; transport
+// retransmissions set the retried counter.
+func TestVerbCountingPerNode(t *testing.T) {
+	f := NewFabric(LatencyModel{})
+	f.AddNode(0)
+	f.AddNode(1)
+	f.AddNode(2)
+	f.RegisterRegion(1, 0, 1<<12)
+	f.RegisterRegion(2, 0, 1<<12)
+	m := metrics.New()
+	f.SetMetrics(m)
+	ep := f.Endpoint(0)
+	buf := make([]byte, 8)
+
+	for i := 0; i < 3; i++ {
+		if err := ep.Read(Addr{Node: 1}, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ep.Write(Addr{Node: 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ep.CAS(Addr{Node: 1, Offset: 8}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition 0→2: the write is still issued (the NIC retries until
+	// the QP errors out) and counts as faulted.
+	f.PartitionLink(0, 2)
+	if err := ep.Write(Addr{Node: 2}, buf); !errors.Is(err, ErrLinkPartitioned) {
+		t.Fatalf("write over partition: %v", err)
+	}
+	f.HealLink(0, 2)
+
+	// Stall 0→1 under a deadline: counts as deadline-expired.
+	f.StallLink(0, 1)
+	dep := f.Endpoint(0).WithTimeout(time.Millisecond)
+	if err := dep.Read(Addr{Node: 1}, buf); !errors.Is(err, ErrVerbTimeout) {
+		t.Fatalf("read over stall: %v", err)
+	}
+	f.HealLink(0, 1)
+
+	s := m.Snapshot()
+	if r := verbRow(t, s, 1, "READ"); r.Issued != 4 || r.DeadlineExpired != 1 || r.Faulted != 0 {
+		t.Errorf("READ@1 = %+v", r)
+	}
+	if r := verbRow(t, s, 1, "CAS"); r.Issued != 1 || r.Faulted != 0 {
+		t.Errorf("CAS@1 = %+v", r)
+	}
+	if r := verbRow(t, s, 2, "WRITE"); r.Issued != 2 || r.Faulted != 1 {
+		t.Errorf("WRITE@2 = %+v", r)
+	}
+}
+
+// TestVerbCountingRetried: a lossy transport marks retransmitted verbs
+// retried without touching the fault counters (RC masks the loss).
+func TestVerbCountingRetried(t *testing.T) {
+	f := NewFabric(LatencyModel{BaseRTT: time.Microsecond})
+	f.AddNode(0)
+	f.AddNode(1)
+	f.RegisterRegion(1, 0, 1<<12)
+	f.SetFaults(FaultModel{LossProb: 0.5, MaxRetransmits: 16, Seed: 7})
+	m := metrics.New()
+	f.SetMetrics(m)
+	ep := f.Endpoint(0)
+	buf := make([]byte, 8)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := ep.Read(Addr{Node: 1}, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := verbRow(t, m.Snapshot(), 1, "READ")
+	if r.Issued != n {
+		t.Fatalf("issued = %d, want %d", r.Issued, n)
+	}
+	if r.Retried == 0 || r.Retried >= n {
+		t.Errorf("retried = %d, want within (0, %d)", r.Retried, n)
+	}
+	if r.Faulted != 0 || r.DeadlineExpired != 0 {
+		t.Errorf("masked retransmissions must not fault: %+v", r)
+	}
+}
+
+// TestVerbCountingZeroAlloc: attaching metrics must not cost the verb
+// path its zero-alloc property (one table load + atomic adds).
+func TestVerbCountingZeroAlloc(t *testing.T) {
+	skipIfRace(t, "the metered single-verb zero-alloc contract (verb counters add no heap allocations)")
+	f := allocFabric(1, 1<<16)
+	f.SetMetrics(metrics.New())
+	ep := f.Endpoint(0)
+	buf := make([]byte, 64)
+	if err := ep.Read(Addr{Node: 1}, buf); err != nil {
+		t.Fatal(err) // warms the node table
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := ep.Read(Addr{Node: 1}, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("metered READ allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestVerbCountingBatches: doorbell batches count one row per op at its
+// own destination, same as serial posting.
+func TestVerbCountingBatches(t *testing.T) {
+	f := NewFabric(LatencyModel{})
+	f.AddNode(0)
+	for i := 1; i <= 3; i++ {
+		f.AddNode(NodeID(i))
+		f.RegisterRegion(NodeID(i), 0, 1<<12)
+	}
+	m := metrics.New()
+	f.SetMetrics(m)
+	ep := f.Endpoint(0)
+
+	b := GetBatch()
+	for i := 1; i <= 3; i++ {
+		b.AddRead(Addr{Node: NodeID(i)}, make([]byte, 8))
+		b.AddCAS(Addr{Node: NodeID(i), Offset: 8}, 0, 1)
+	}
+	if err := ep.Do(b.Ops()...); err != nil {
+		t.Fatal(err)
+	}
+	b.Put()
+
+	s := m.Snapshot()
+	for i := 1; i <= 3; i++ {
+		if r := verbRow(t, s, NodeID(i), "READ"); r.Issued != 1 {
+			t.Errorf("READ@%d = %+v", i, r)
+		}
+		if r := verbRow(t, s, NodeID(i), "CAS"); r.Issued != 1 {
+			t.Errorf("CAS@%d = %+v", i, r)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"pandora/internal/fdetect"
 	"pandora/internal/kvlayout"
 	"pandora/internal/memnode"
+	"pandora/internal/metrics"
 	"pandora/internal/place"
 	"pandora/internal/rdma"
 )
@@ -55,6 +56,10 @@ type Config struct {
 	// RCNode is the fabric node the recovery coordinator issues verbs
 	// from. It must already be attached to the fabric.
 	RCNode rdma.NodeID
+	// Metrics, when set, receives one PhaseRecoveryStep latency sample
+	// per log-recovery sub-step (log read, per-tx resolution, truncation,
+	// intent release), measured on the recovery's virtual clock.
+	Metrics *metrics.Registry
 }
 
 // Stats reports what one compute recovery did. VTime is the modelled
@@ -190,13 +195,25 @@ func (m *Manager) logNodes(failed rdma.NodeID) []rdma.NodeID {
 	return m.Ring().LogServers(failed)
 }
 
+// recordStep charges the virtual time elapsed since start as one
+// PhaseRecoveryStep sample (sharded by the failed node's id) and
+// returns the new step start. Nil-safe like the registry itself.
+func (m *Manager) recordStep(ep *rdma.Endpoint, shard uint64, start time.Duration) time.Duration {
+	now := ep.Clock().Now()
+	m.cfg.Metrics.RecordPhase(metrics.PhaseRecoveryStep, shard, now-start)
+	return now
+}
+
 // logRecovery reads the failed node's logs, reconstructs its
 // Logged-Stray-Txs, and rolls each forward or back.
 func (m *Manager) logRecovery(ep *rdma.Endpoint, ev fdetect.Event, stats *Stats) error {
+	shard := uint64(ev.Node)
+	step := ep.Clock().Now()
 	regions, err := m.readLogRegions(ep, ev.Node, stats)
 	if err != nil {
 		return err
 	}
+	step = m.recordStep(ep, shard, step) // sub-step: f+1 log reads
 	txs := m.reconstruct(regions, ev)
 	stats.LoggedTxs = len(txs)
 
@@ -223,6 +240,7 @@ func (m *Manager) logRecovery(ep *rdma.Endpoint, ev fdetect.Event, stats *Stats)
 			stats.RolledBack++
 		}
 	}
+	step = m.recordStep(ep, shard, step) // sub-step: roll forward/back
 
 	// Idempotence (§3.2.3): truncate every log of the failed node before
 	// the stray-lock notification; a re-executed recovery then finds no
@@ -230,6 +248,7 @@ func (m *Manager) logRecovery(ep *rdma.Endpoint, ev fdetect.Event, stats *Stats)
 	if err := m.truncateAll(ep, ev); err != nil {
 		return err
 	}
+	step = m.recordStep(ep, shard, step) // sub-step: log truncation
 
 	if m.cfg.Protocol == core.ProtocolTradLog {
 		// The traditional scheme has no PILL: stray locks of not-logged
@@ -240,6 +259,7 @@ func (m *Manager) logRecovery(ep *rdma.Endpoint, ev fdetect.Event, stats *Stats)
 			return err
 		}
 		stats.StrayLocksFreed += n
+		m.recordStep(ep, shard, step) // sub-step: intent-lock release
 	}
 	return nil
 }

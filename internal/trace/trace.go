@@ -20,7 +20,9 @@ type Point struct {
 // Recorder counts events into fixed-width time buckets. Hit is safe for
 // concurrent use by many goroutines.
 type Recorder struct {
-	start   time.Time
+	// elapsed reports time since the recorder started. Injectable so
+	// tests drive the recorder on a fake clock instead of sleeping.
+	elapsed func() time.Duration
 	bucket  time.Duration
 	counts  []atomic.Int64
 	dropped atomic.Int64
@@ -28,22 +30,32 @@ type Recorder struct {
 
 // NewRecorder creates a recorder covering `horizon` from now, divided
 // into buckets of width `bucket`. Events past the horizon are counted as
-// dropped rather than lost silently.
+// dropped rather than lost silently. The recorder runs on the wall
+// clock; NewRecorderAt injects an explicit clock for tests.
 func NewRecorder(horizon, bucket time.Duration) *Recorder {
+	start := time.Now()
+	return NewRecorderAt(horizon, bucket, func() time.Duration { return time.Since(start) })
+}
+
+// NewRecorderAt is NewRecorder with an injected clock: elapsed must
+// report the time since the recorder's start. Deterministic tests pass
+// a hand-advanced fake; the throughput experiments use the wall-clock
+// default (their fail-over timelines are real time by design).
+func NewRecorderAt(horizon, bucket time.Duration, elapsed func() time.Duration) *Recorder {
 	n := int(horizon / bucket)
 	if n < 1 {
 		n = 1
 	}
 	return &Recorder{
-		start:  time.Now(),
-		bucket: bucket,
-		counts: make([]atomic.Int64, n),
+		elapsed: elapsed,
+		bucket:  bucket,
+		counts:  make([]atomic.Int64, n),
 	}
 }
 
 // Hit records one event at the current time.
 func (r *Recorder) Hit() {
-	i := int(time.Since(r.start) / r.bucket)
+	i := int(r.elapsed() / r.bucket)
 	if i < 0 || i >= len(r.counts) {
 		r.dropped.Add(1)
 		return
@@ -52,7 +64,7 @@ func (r *Recorder) Hit() {
 }
 
 // Elapsed returns time since the recorder started.
-func (r *Recorder) Elapsed() time.Duration { return time.Since(r.start) }
+func (r *Recorder) Elapsed() time.Duration { return r.elapsed() }
 
 // Dropped returns the number of events outside the horizon.
 func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
@@ -60,7 +72,7 @@ func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
 // Series returns the recorded buckets up to the last one that has
 // started.
 func (r *Recorder) Series() []Point {
-	n := int(time.Since(r.start)/r.bucket) + 1
+	n := int(r.elapsed()/r.bucket) + 1
 	if n > len(r.counts) {
 		n = len(r.counts)
 	}

@@ -6,21 +6,45 @@ import (
 	"time"
 )
 
+// fakeClock is a hand-advanced elapsed-time source: the tests move it
+// instead of sleeping, so bucket boundaries are exact and the suite
+// never flakes on scheduler delay.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
 func TestRecorderCountsIntoBuckets(t *testing.T) {
-	r := NewRecorder(time.Second, 50*time.Millisecond)
+	clk := &fakeClock{}
+	r := NewRecorderAt(time.Second, 50*time.Millisecond, clk.elapsed)
 	for i := 0; i < 10; i++ {
 		r.Hit()
 	}
-	time.Sleep(60 * time.Millisecond)
+	clk.advance(60 * time.Millisecond)
 	for i := 0; i < 5; i++ {
 		r.Hit()
 	}
 	s := r.Series()
-	if len(s) < 2 {
-		t.Fatalf("series has %d buckets", len(s))
+	if len(s) != 2 {
+		t.Fatalf("series has %d buckets, want 2", len(s))
 	}
 	if s[0].Count != 10 {
 		t.Fatalf("bucket 0 = %d, want 10", s[0].Count)
+	}
+	if s[1].Count != 5 {
+		t.Fatalf("bucket 1 = %d, want 5", s[1].Count)
 	}
 	if r.Total() != 15 {
 		t.Fatalf("total = %d, want 15", r.Total())
@@ -31,7 +55,8 @@ func TestRecorderCountsIntoBuckets(t *testing.T) {
 }
 
 func TestRecorderConcurrent(t *testing.T) {
-	r := NewRecorder(time.Second, 100*time.Millisecond)
+	clk := &fakeClock{}
+	r := NewRecorderAt(time.Second, 100*time.Millisecond, clk.elapsed)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -49,8 +74,9 @@ func TestRecorderConcurrent(t *testing.T) {
 }
 
 func TestRecorderHorizonDrops(t *testing.T) {
-	r := NewRecorder(10*time.Millisecond, 10*time.Millisecond)
-	time.Sleep(25 * time.Millisecond)
+	clk := &fakeClock{}
+	r := NewRecorderAt(10*time.Millisecond, 10*time.Millisecond, clk.elapsed)
+	clk.advance(25 * time.Millisecond)
 	r.Hit()
 	if r.Dropped() != 1 {
 		t.Fatalf("dropped = %d, want 1", r.Dropped())
@@ -60,8 +86,41 @@ func TestRecorderHorizonDrops(t *testing.T) {
 	}
 }
 
+// TestRecorderBucketBoundary pins the half-open bucket intervals: an
+// event exactly at a boundary lands in the later bucket, and one at the
+// horizon is dropped.
+func TestRecorderBucketBoundary(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorderAt(100*time.Millisecond, 50*time.Millisecond, clk.elapsed)
+	clk.advance(50 * time.Millisecond)
+	r.Hit()
+	s := r.Series()
+	if s[0].Count != 0 || s[1].Count != 1 {
+		t.Fatalf("boundary hit landed in buckets %d/%d, want 0/1", s[0].Count, s[1].Count)
+	}
+	clk.advance(50 * time.Millisecond)
+	r.Hit()
+	if r.Dropped() != 1 {
+		t.Fatalf("horizon hit: dropped = %d, want 1", r.Dropped())
+	}
+}
+
+// TestRecorderWallClockDefault: NewRecorder must still run on real
+// time for the throughput experiments (no fake injected).
+func TestRecorderWallClockDefault(t *testing.T) {
+	r := NewRecorder(time.Second, time.Millisecond)
+	r.Hit()
+	if r.Total()+r.Dropped() != 1 {
+		t.Fatalf("wall-clock recorder lost the event")
+	}
+	if r.Elapsed() < 0 {
+		t.Fatalf("elapsed went backwards: %v", r.Elapsed())
+	}
+}
+
 func TestMeanRate(t *testing.T) {
-	r := NewRecorder(time.Second, 10*time.Millisecond)
+	clk := &fakeClock{}
+	r := NewRecorderAt(time.Second, 10*time.Millisecond, clk.elapsed)
 	for i := 0; i < 50; i++ {
 		r.Hit()
 	}

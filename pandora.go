@@ -37,6 +37,7 @@ import (
 	"pandora/internal/fdetect"
 	"pandora/internal/kvlayout"
 	"pandora/internal/memnode"
+	"pandora/internal/metrics"
 	"pandora/internal/place"
 	"pandora/internal/quorum"
 	"pandora/internal/rdma"
@@ -61,6 +62,28 @@ type Bugs = core.Bugs
 
 // RecoveryStats re-exports per-recovery statistics.
 type RecoveryStats = recovery.Stats
+
+// Metrics is a point-in-time snapshot of the cluster's always-on
+// observability registry: per-phase latency histograms (virtual time),
+// the typed abort taxonomy, and per-destination fabric verb counters.
+type Metrics = metrics.Snapshot
+
+// AbortKind is the typed abort-reason taxonomy.
+type AbortKind = metrics.AbortReason
+
+// Abort kinds re-exported from the metrics taxonomy.
+const (
+	AbortValidationVersion = metrics.AbortValidationVersion
+	AbortLockConflict      = metrics.AbortLockConflict
+	AbortSteal             = metrics.AbortSteal
+	AbortFault             = metrics.AbortFault
+	AbortCacheStale        = metrics.AbortCacheStale
+	AbortOther             = metrics.AbortOther
+)
+
+// AbortKindOf extracts the typed abort reason from a transaction error.
+// ok is false when the error is not an abort.
+func AbortKindOf(err error) (kind AbortKind, ok bool) { return core.AbortKindOf(err) }
 
 // TableSpec declares one table of the store.
 type TableSpec struct {
@@ -189,6 +212,7 @@ type Cluster struct {
 	fd     *fdetect.Detector
 	store  *quorum.Store
 	mgr    *recovery.Manager
+	met    *metrics.Registry
 
 	mu      sync.Mutex
 	nodes   []*core.ComputeNode
@@ -215,10 +239,12 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:     cfg,
 		fab:     rdma.NewFabric(lat),
+		met:     metrics.New(),
 		tableID: make(map[string]kvlayout.TableID),
 		lastRec: make(map[rdma.NodeID]RecoveryStats),
 		recWake: make(chan struct{}),
 	}
+	c.fab.SetMetrics(c.met)
 	if cfg.LossProb > 0 || cfg.DupProb > 0 {
 		c.fab.SetFaults(rdma.FaultModel{LossProb: cfg.LossProb, DupProb: cfg.DupProb, Seed: 1})
 	}
@@ -273,6 +299,7 @@ func New(cfg Config) (*Cluster, error) {
 		Persist:         cfg.Persistence,
 		VerbTimeout:     cfg.VerbTimeout,
 		ReadCacheSize:   cfg.ReadCacheSize,
+		Metrics:         c.met,
 	}
 	var peers []recovery.ComputePeer
 	for i := 0; i < cfg.ComputeNodes; i++ {
@@ -300,6 +327,7 @@ func New(cfg Config) (*Cluster, error) {
 		Protocol:      cfg.Protocol,
 		CoordsPerNode: cfg.CoordinatorsPerNode,
 		RCNode:        rcNodeID,
+		Metrics:       c.met,
 	})
 
 	if !cfg.NoAutoRecover {
@@ -519,6 +547,17 @@ func (c *Cluster) AttachClock(node, coord int) *rdma.VClock {
 	c.node(node).Coordinator(coord).WithClock(clk)
 	return clk
 }
+
+// MetricsSnapshot returns a consistent point-in-time copy of the
+// cluster's metrics registry: phase latency histograms with
+// p50/p95/p99, abort counts by typed reason, and per-(node, verb)
+// fabric counters. Snapshots can be diffed with Sub to isolate one
+// experiment's contribution.
+func (c *Cluster) MetricsSnapshot() Metrics { return c.met.Snapshot() }
+
+// MetricsRegistry exposes the live registry for wiring into auxiliary
+// components (e.g. a manually driven recovery manager).
+func (c *Cluster) MetricsRegistry() *metrics.Registry { return c.met }
 
 // Recovery exposes the recovery manager.
 func (c *Cluster) Recovery() *recovery.Manager { return c.mgr }

@@ -151,6 +151,7 @@ var virtualTimeSegs = map[string]bool{
 	"recovery": true,
 	"chaos":    true,
 	"cache":    true,
+	"metrics":  true,
 }
 
 // BasePkgPath strips the " [pkg.test]" variant suffix go list/go vet

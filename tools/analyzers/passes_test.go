@@ -21,8 +21,10 @@ func TestDeterminismScope(t *testing.T) {
 		"pandora/internal/rdma",
 		"pandora/internal/recovery",
 		"pandora/internal/chaos",
+		"pandora/internal/metrics",
 		"pandora/internal/core [pandora/internal/core.test]",
 		"pandora/internal/rdma_test [pandora/internal/rdma.test]",
+		"pandora/internal/metrics [pandora/internal/metrics.test]",
 	} {
 		if !IsVirtualTimePkg(p) {
 			t.Fatalf("%s must be a virtual-time package", p)

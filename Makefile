@@ -40,6 +40,19 @@ chaos-smoke:
 	$(GO) run ./cmd/pandora-chaos -seed 42 -events 8 >$(BIN)/a.log
 	$(GO) run ./cmd/pandora-chaos -seed 42 -events 8 >$(BIN)/b.log
 	cmp $(BIN)/a.log $(BIN)/b.log
+	# Reconfiguration lane: 3 seeds × {coordinator, source, destination}
+	# crash points, each run twice and byte-compared (crash point and
+	# event log are pure functions of the seed). The last run leaves the
+	# observability snapshot in $(BIN)/RECONFIG_metrics.json.
+	for crash in coordinator source destination; do \
+	  for seed in 1 7 42; do \
+	    $(GO) run ./cmd/pandora-chaos -scenario reconfig -crash $$crash -seed $$seed \
+	      -metrics $(BIN)/RECONFIG_metrics.json >$(BIN)/r-a.log || exit 1; \
+	    $(GO) run ./cmd/pandora-chaos -scenario reconfig -crash $$crash -seed $$seed \
+	      >$(BIN)/r-b.log || exit 1; \
+	    cmp $(BIN)/r-a.log $(BIN)/r-b.log || exit 1; \
+	  done; \
+	done
 
 clean:
 	rm -rf $(BIN)

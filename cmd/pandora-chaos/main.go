@@ -6,6 +6,9 @@
 //	pandora-chaos -seed 7 -events 20     # longer run, different schedule
 //	pandora-chaos -workload bank         # balance-conservation invariant
 //	pandora-chaos -escalate              # FD suspicion escalation on
+//	pandora-chaos -scenario reconfig -crash source
+//	                                     # live resharding, crash the copy
+//	                                     # source mid-migration, recover
 //
 // The deterministic event log goes to stdout: two runs with the same
 // flags (escalation off) are byte-identical, which is how a chaos
@@ -26,7 +29,8 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 42, "seed driving the fault schedule and workload")
-	scenario := flag.String("scenario", "mixed", "fault palette: "+strings.Join(chaos.Scenarios(), ", "))
+	scenario := flag.String("scenario", "mixed", "fault palette: "+strings.Join(chaos.Scenarios(), ", ")+", reconfig")
+	crash := flag.String("crash", "coordinator", "reconfig scenario only — what dies mid-migration: "+strings.Join(chaos.ReconfigModes(), ", "))
 	workload := flag.String("workload", "counter", "workload: counter, bank")
 	events := flag.Int("events", 12, "number of seed-drawn fault events")
 	gap := flag.Duration("gap", 2*time.Millisecond, "wall-clock spacing between events")
@@ -39,7 +43,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write the run's observability snapshot (phase histograms, abort taxonomy, verb counters) as JSON to this file; the stdout event log stays untouched")
 	flag.Parse()
 
-	res, err := chaos.Run(chaos.Config{
+	cfg := chaos.Config{
 		Seed:         *seed,
 		Scenario:     *scenario,
 		Workload:     *workload,
@@ -54,7 +58,16 @@ func main() {
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
-	})
+	}
+	var res *chaos.Result
+	var err error
+	if *scenario == "reconfig" {
+		// The reconfiguration family has its own runner: one live
+		// add-memory migration with a seeded crash, not a drawn schedule.
+		res, err = chaos.RunReconfig(cfg, *crash)
+	} else {
+		res, err = chaos.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora-chaos: %v\n", err)
 		os.Exit(2)

@@ -154,6 +154,37 @@ func (c *Cluster) FailMemory(i int) error {
 	return nil
 }
 
+// FailMemoryID crashes the memory server with the given fabric node id
+// and deterministically drives detection + recovery — the id-addressed
+// variant reconfiguration chaos hooks use, since a migration StepEvent
+// names its source and destination by node id, not cluster index.
+func (c *Cluster) FailMemoryID(id rdma.NodeID) error {
+	srv := c.memByID(id)
+	if srv == nil {
+		return fmt.Errorf("pandora: no memory server with id %d", id)
+	}
+	srv.Crash()
+	if _, ok := c.fd.MarkFailed(id); !ok {
+		return fmt.Errorf("pandora: memory node %d already failed", id)
+	}
+	return nil
+}
+
+// MemoryIndex returns the cluster index of the memory server with the
+// given fabric node id, or -1 if no attached server has that id — the
+// inverse lookup chaos runners need to Rereplicate a node a migration
+// StepEvent named by id.
+func (c *Cluster) MemoryIndex(id rdma.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, m := range c.mems {
+		if m.ID() == id {
+			return i
+		}
+	}
+	return -1
+}
+
 // PowerFailMemory power-fails memory node i (requires Config.
 // Persistence): the node goes down and its memory reverts to the
 // durable NVM image — unacknowledged (un-flushed) writes are lost —
@@ -172,9 +203,20 @@ func (c *Cluster) PowerFailMemory(i int) error {
 // (it resumes as primary for its partitions). With f+1 > 1 replicas the
 // restarted node's data may lag writes acknowledged during the outage —
 // re-replication resynchronises it; with a single replica (pure NVM
-// durability) the durable image is the authoritative state.
-func (c *Cluster) RestartMemory(i int) {
-	srv := c.mem(i)
+// durability) the durable image is the authoritative state. Like
+// RestartCompute, it errors on misuse: an out-of-range index or a node
+// that never failed.
+func (c *Cluster) RestartMemory(i int) error {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.mems) {
+		c.mu.Unlock()
+		return fmt.Errorf("pandora: no memory node %d", i)
+	}
+	srv := c.mems[i]
+	c.mu.Unlock()
+	if !srv.Down() && !c.fd.IsFailed(srv.ID()) {
+		return fmt.Errorf("pandora: memory node %d is not failed", i)
+	}
 	srv.Restart()
 	c.mu.Lock()
 	nodes := append([]*core.ComputeNode{}, c.nodes...)
@@ -185,6 +227,7 @@ func (c *Cluster) RestartMemory(i int) {
 	// Re-arm monitoring: the FD resumes heartbeat tracking with a clean
 	// suspicion slate, so the restarted node can be failed again later.
 	c.fd.RegisterMemory(srv.ID())
+	return nil
 }
 
 // Rereplicate replaces failed memory node i with a fresh server,

@@ -295,7 +295,7 @@ func (tx *Tx) validate() (bool, error) {
 	for _, r := range tx.reads {
 		primary, _, err := tx.cn.replicasFor(r.ref.partition)
 		if err != nil {
-			return false, tx.abort(metrics.AbortFault, "validation: no live replica: "+err.Error())
+			return false, tx.placementAbort(err)
 		}
 		b.AddRead(tx.cn.tableAddr(primary, r.ref, kvlayout.SlotLockOff), b.Bytes(16))
 	}

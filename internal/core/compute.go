@@ -52,6 +52,12 @@ type ComputeNode struct {
 	deadMem  map[rdma.NodeID]bool
 	cfgEpoch atomic.Uint64
 
+	// migrating marks partitions whose placement is mid-cutover
+	// (DESIGN.md §13): transactions touching one abort with the reconfig
+	// kind and retry after the new view is installed.
+	migMu     sync.RWMutex
+	migrating map[uint32]bool
+
 	// cacheEpoch stamps every validated-read-cache entry; any event that
 	// could silently change committed state out from under cached values
 	// (recovery roll-back announced via stray-lock notification, memory
@@ -111,6 +117,7 @@ func NewComputeNode(fab *rdma.Fabric, id rdma.NodeID, ring *place.Ring, schema [
 		opts:      opts,
 		failed:    fdetect.NewBitset(),
 		deadMem:   make(map[rdma.NodeID]bool),
+		migrating: make(map[uint32]bool),
 		addrCache: make(map[addrKey]objRef),
 		hbStop:    make(chan struct{}),
 		stallPoll: 20 * time.Microsecond,
@@ -306,6 +313,59 @@ func (cn *ComputeNode) SwapRing(r *place.Ring) {
 	cn.cacheEpoch.Add(1)
 }
 
+// SetPartitionMigrating marks (or unmarks) a partition as mid-cutover.
+// While marked, any transaction resolving the partition aborts with
+// ErrPartitionMigrating under the reconfig taxonomy. The migration
+// coordinator marks before its drain barrier and unmarks after
+// installing the new view, so no transaction can commit against the old
+// placement once the cutover copy has started.
+func (cn *ComputeNode) SetPartitionMigrating(partition uint32, on bool) {
+	cn.migMu.Lock()
+	if on {
+		cn.migrating[partition] = true
+	} else {
+		delete(cn.migrating, partition)
+	}
+	cn.migMu.Unlock()
+	cn.cfgEpoch.Add(1)
+}
+
+// partitionMigrating reports whether a partition is marked mid-cutover.
+func (cn *ComputeNode) partitionMigrating(partition uint32) bool {
+	cn.migMu.RLock()
+	defer cn.migMu.RUnlock()
+	return cn.migrating[partition]
+}
+
+// InstallView installs an intermediate placement view during a
+// migration: unlike SwapRing it preserves the node's memory-liveness
+// view and its address cache (a partition cutover copies slot images
+// byte-identically, so slot indexes and versions stay valid — OCC
+// validation catches anything that moved). Log-server assignments are
+// not refreshed: intermediate views pin the pre-migration log
+// placement, which only moves at the final (paused) SwapRing.
+func (cn *ComputeNode) InstallView(r *place.Ring) {
+	cn.ring.Store(r)
+	cn.cfgEpoch.Add(1)
+}
+
+// InstallFinalView installs the migration's final placement under a
+// Pause: log-server assignments refresh and the address cache clears
+// (log placement moves with the final view), but the memory-liveness
+// view is preserved — unlike SwapRing, a replica that died mid-migration
+// stays marked dead so primaries keep resolving past it.
+func (cn *ComputeNode) InstallFinalView(r *place.Ring) {
+	cn.ring.Store(r)
+	for _, co := range cn.coords {
+		co.logServers = r.LogServers(cn.id)
+	}
+	cn.addrMu.Lock()
+	cn.addrCache = make(map[addrKey]objRef)
+	cn.addrMu.Unlock()
+	cn.cfgEpoch.Add(1)
+	cn.cacheEpoch.Add(1)
+}
+
 // Pause stops the world on this node: it waits for in-flight
 // transactions to finish and blocks new ones until Resume.
 func (cn *ComputeNode) Pause() { cn.pause.Lock() }
@@ -347,9 +407,15 @@ func (cn *ComputeNode) StopHeartbeats() {
 }
 
 // replicasFor returns an object's replicas with the current primary
-// first, per this node's liveness view.
+// first, per this node's liveness view. A partition marked mid-cutover
+// fails with ErrPartitionMigrating: its placement is about to change,
+// and committing against the old replicas could strand the write on a
+// superseded copy.
 func (cn *ComputeNode) replicasFor(partition uint32) (primary rdma.NodeID, all []rdma.NodeID, err error) {
 	ring := cn.ring.Load()
+	if cn.partitionMigrating(partition) {
+		return 0, nil, fmt.Errorf("%w: partition %d (placement epoch %d)", ErrPartitionMigrating, partition, ring.Epoch())
+	}
 	all = ring.Replicas(partition)
 	prim, ok := ring.Primary(partition, cn.memAlive)
 	if !ok {

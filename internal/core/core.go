@@ -163,6 +163,11 @@ var (
 	// ErrPaused is returned while the compute node is paused for
 	// memory-failure reconfiguration.
 	ErrPaused = errors.New("core: compute node paused for reconfiguration")
+	// ErrPartitionMigrating is the cause attached to reconfig aborts: the
+	// partition the transaction touched is mid-migration, its placement
+	// about to change. The client retries on the refreshed epoch (the
+	// standard OCC retry path with capped backoff).
+	ErrPartitionMigrating = errors.New("core: partition migrating")
 	// ErrIndeterminate is returned when a transaction's cleanup
 	// (rollback, log truncation, lock release) could not complete within
 	// the retry budget because of link faults. The outcome is decided —

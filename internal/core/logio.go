@@ -141,7 +141,7 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 		// snapshots the replica set.
 		primary, all, err := tx.cn.replicasFor(ent.ref.partition)
 		if err != nil {
-			return tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
+			return tx.placementAbort(err)
 		}
 		replicas = orderReplicas(primary, all)
 	}

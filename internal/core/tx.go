@@ -274,7 +274,7 @@ func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, objRef, error) {
 	for {
 		primary, _, err := tx.cn.replicasFor(ref.partition)
 		if err != nil {
-			return kvlayout.Slot{}, ref, tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
+			return kvlayout.Slot{}, ref, tx.placementAbort(err)
 		}
 		if err := tx.co.ep.Read(tx.cn.tableAddr(primary, ref, 0), buf); err != nil {
 			return kvlayout.Slot{}, ref, tx.verbFailure(err)
@@ -373,10 +373,27 @@ func (tx *Tx) verbFailure(err error) error {
 		tx.release()
 		return err
 	}
+	if errors.Is(err, ErrPartitionMigrating) {
+		// The failure is placement, not fabric: a resolve or read hit a
+		// partition that is mid-cutover.
+		return tx.placementAbort(err)
+	}
 	if le := linkFault(err); le != nil {
 		tx.cn.reportSuspect(le.Dst)
 	}
 	return tx.abortCause(metrics.AbortFault, "verb failed: "+err.Error(), err)
+}
+
+// placementAbort maps a replicasFor failure to the abort taxonomy: a
+// partition marked mid-cutover aborts under the reconfig kind (the
+// retry re-reads the refreshed placement — PR 4's rule: stale placement
+// costs an abort, never a wrong commit); a genuinely empty live replica
+// set is a fault.
+func (tx *Tx) placementAbort(err error) error {
+	if errors.Is(err, ErrPartitionMigrating) {
+		return tx.abortCause(metrics.AbortReconfig, "placement: "+err.Error(), err)
+	}
+	return tx.abortCause(metrics.AbortFault, "no live replica: "+err.Error(), err)
 }
 
 // Write stages an update of an existing key and eagerly locks it
@@ -526,7 +543,7 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 		// awaited before validation begins.
 		primary, all, err := cn.replicasFor(ref.partition)
 		if err != nil {
-			return tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
+			return tx.placementAbort(err)
 		}
 		ent.replicas = orderReplicas(primary, all)
 		slot, newRef, err := tx.readSlotConsistent(ref)
@@ -556,7 +573,7 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 	for {
 		primary, all, err := cn.replicasFor(ref.partition)
 		if err != nil {
-			return tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
+			return tx.placementAbort(err)
 		}
 		// The two ops are reused across retries: constant space no matter
 		// how often the lock bounces.
@@ -904,7 +921,7 @@ func (tx *Tx) readRangeChunk(table kvlayout.TableID, lo, hi kvlayout.Key, preRea
 			primary, _, err := tx.cn.replicasFor(refs[i].partition)
 			if err != nil {
 				b.Put()
-				return false, tx.abort(metrics.AbortFault, "no live replica: "+err.Error())
+				return false, tx.placementAbort(err)
 			}
 			addrs[na] = tx.cn.tableAddr(primary, refs[i], 0)
 			na++

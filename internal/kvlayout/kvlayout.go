@@ -131,8 +131,13 @@ func Mix64(x uint64) uint64 {
 }
 
 // Region-id scheme. Table regions encode (table, partition); log
-// regions encode the owning compute node.
+// regions encode the owning compute node; the reconfiguration journal
+// has its own flag bit.
 const logRegionFlag = rdma.RegionID(1) << 31
+
+// reconfigRegionFlag marks the reconfiguration-journal region that every
+// memory server hosts during a membership migration.
+const reconfigRegionFlag = rdma.RegionID(1) << 30
 
 // TableRegionID returns the region id hosting (table, partition) on any
 // replica node.
@@ -148,3 +153,14 @@ func LogRegionID(computeNode rdma.NodeID) rdma.RegionID {
 
 // IsLogRegion reports whether id names a log region.
 func IsLogRegion(id rdma.RegionID) bool { return id&logRegionFlag != 0 }
+
+// ReconfigRegionID returns the region id of the reconfiguration journal
+// replica a memory server hosts. Migration state is journaled on the
+// memory tier exactly like transaction logs: replicated whole-image
+// writes whose highest sequence number wins at recovery.
+func ReconfigRegionID() rdma.RegionID { return reconfigRegionFlag }
+
+// IsReconfigRegion reports whether id names the reconfiguration journal.
+func IsReconfigRegion(id rdma.RegionID) bool {
+	return id&reconfigRegionFlag != 0 && id&logRegionFlag == 0
+}

@@ -33,9 +33,10 @@ type Server struct {
 	schema []kvlayout.Table
 	ring   *place.Ring
 
-	mu     sync.Mutex
-	tables map[tableKey]*rdma.Region
-	logs   map[rdma.NodeID]*rdma.Region
+	mu       sync.Mutex
+	tables   map[tableKey]*rdma.Region
+	logs     map[rdma.NodeID]*rdma.Region
+	reconfig *rdma.Region
 }
 
 // NewServer attaches a memory server to the fabric and registers a table
@@ -93,6 +94,46 @@ func (s *Server) EnsureLogRegion(compute rdma.NodeID, coords int) {
 	}
 	size := coords * kvlayout.LogAreaSize
 	s.logs[compute] = s.fab.RegisterRegion(s.id, kvlayout.LogRegionID(compute), size)
+}
+
+// EnsureTableRegion registers (idempotently) the region for (table,
+// partition) and returns it. Control-path RPC issued when an online
+// reconfiguration makes this server a replica of a partition it did not
+// host at construction (DESIGN.md §13).
+func (s *Server) EnsureTableRegion(table kvlayout.TableID, partition uint32) *rdma.Region {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := tableKey{table, partition}
+	if r, ok := s.tables[k]; ok {
+		return r
+	}
+	tab := s.schema[table]
+	r := s.fab.RegisterRegion(s.id, kvlayout.TableRegionID(table, partition), tab.RegionSize())
+	s.tables[k] = r
+	return r
+}
+
+// HostsPartition reports whether this server currently hosts a region
+// for (table, partition).
+func (s *Server) HostsPartition(table kvlayout.TableID, partition uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.tables[tableKey{table, partition}]
+	return ok
+}
+
+// EnsureReconfigRegion registers (idempotently) this server's replica of
+// the reconfiguration journal and returns it. Like transaction logs, the
+// journal lives on the memory tier: the migration coordinator replicates
+// whole-image writes to every live member, and recovery takes the copy
+// with the highest sequence number.
+func (s *Server) EnsureReconfigRegion(size int) *rdma.Region {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reconfig == nil {
+		s.reconfig = s.fab.RegisterRegion(s.id, kvlayout.ReconfigRegionID(), size)
+	}
+	return s.reconfig
 }
 
 // RevokeLink terminates a compute node's RDMA access rights on this

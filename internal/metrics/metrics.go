@@ -46,6 +46,10 @@ const (
 	// PhaseRecoveryStep is one step of the §3.2.2 recovery sequence
 	// (log read, per-transaction roll, truncation, intent release).
 	PhaseRecoveryStep
+	// PhaseMigrate is one partition's reconfiguration migration: the
+	// fuzzy copy, the drain barrier, the quiescent delta copy and the
+	// intermediate ring install (DESIGN.md §13).
+	PhaseMigrate
 
 	// NumPhases bounds the phase enum.
 	NumPhases
@@ -54,6 +58,7 @@ const (
 // phaseNames index by Phase; these are the JSON keys of the snapshot.
 var phaseNames = [NumPhases]string{
 	"read", "lock", "validate", "log", "commit-back", "resolve", "recovery-step",
+	"migrate",
 }
 
 func (p Phase) String() string {
@@ -88,6 +93,11 @@ const (
 	// AbortOther: user-requested aborts and resource exhaustion (log
 	// area full) — nothing the contention taxonomy explains.
 	AbortOther
+	// AbortReconfig: the transaction touched a partition whose placement
+	// is mid-migration (marked migrating, or cut over since the
+	// transaction began). The client retries on the refreshed epoch —
+	// stale placement costs an abort, never a wrong commit.
+	AbortReconfig
 
 	// NumAbortReasons bounds the reason enum.
 	NumAbortReasons
@@ -95,6 +105,7 @@ const (
 
 var abortNames = [NumAbortReasons]string{
 	"validation-version", "lock-conflict", "steal", "fault", "cache-stale", "other",
+	"reconfig",
 }
 
 func (a AbortReason) String() string {

@@ -17,6 +17,8 @@ import (
 // resumes. No log recovery runs when all compute servers are alive: each
 // coordinator holds complete local knowledge of its own transactions.
 func (m *Manager) RecoverMemory(ev fdetect.Event) error {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
 	// Stop the world: the replica configuration must not change under
 	// running transactions.
 	var resumed []ComputePeer
@@ -43,6 +45,8 @@ func (m *Manager) RecoverMemory(ev fdetect.Event) error {
 // placement is by member index, so nothing else moves — and copies every
 // partition it now hosts from a surviving replica.
 func (m *Manager) Rereplicate(dead rdma.NodeID, replacementID rdma.NodeID) (*memnode.Server, error) {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
 	var resumed []ComputePeer
 	for _, p := range m.peers() {
 		if p.Crashed() {
@@ -103,12 +107,12 @@ func (m *Manager) Rereplicate(dead rdma.NodeID, replacementID rdma.NodeID) (*mem
 	// Install the new view everywhere.
 	m.mu.Lock()
 	m.ring = newRing
-	m.mu.Unlock()
 	for i, s := range m.cfg.Mems {
 		if s.ID() == dead {
 			m.cfg.Mems[i] = repl
 		}
 	}
+	m.mu.Unlock()
 	for _, p := range resumed {
 		p.SwapRing(newRing)
 	}
@@ -116,13 +120,18 @@ func (m *Manager) Rereplicate(dead rdma.NodeID, replacementID rdma.NodeID) (*mem
 }
 
 func (m *Manager) memServer(id rdma.NodeID) *memnode.Server {
-	for _, s := range m.cfg.Mems {
+	for _, s := range m.mems() {
 		if s.ID() == id {
 			return s
 		}
 	}
 	return nil
 }
+
+// MemServer returns the manager's handle for a memory server, or nil —
+// the migration coordinator resolves copy sources and destinations
+// through it.
+func (m *Manager) MemServer(id rdma.NodeID) *memnode.Server { return m.memServer(id) }
 
 // RecycleStrayLocks is the coordinator-id recycling mechanism of §3.1.2:
 // a background scan over every memory server that releases all remaining
@@ -133,7 +142,7 @@ func (m *Manager) memServer(id rdma.NodeID) *memnode.Server {
 func (m *Manager) RecycleStrayLocks(failed func(kvlayout.CoordID) bool) int {
 	ep := m.endpoint(nil)
 	released := 0
-	for _, srv := range m.cfg.Mems {
+	for _, srv := range m.mems() {
 		if m.cfg.Fabric.IsDown(srv.ID()) {
 			continue
 		}

@@ -81,6 +81,12 @@ type Manager struct {
 	cfg  Config
 	ring *place.Ring
 
+	// opMu serializes whole recovery operations against each other and
+	// against migration steps of an online reconfiguration (which holds
+	// it via LockOps around every journaled step): a partition copy must
+	// never interleave with a re-replication or a membership swap.
+	opMu sync.Mutex
+
 	mu        sync.Mutex
 	recovered map[rdma.NodeID]bool
 }
@@ -95,6 +101,64 @@ func (m *Manager) Ring() *place.Ring {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.ring
+}
+
+// InstallRing replaces the manager's placement view — the migration
+// coordinator installs each intermediate (per-partition) view and the
+// final target view here so recovery decisions always see the placement
+// transactions are running against.
+func (m *Manager) InstallRing(r *place.Ring) {
+	m.mu.Lock()
+	m.ring = r
+	m.mu.Unlock()
+}
+
+// LockOps acquires the manager's operation lock. An online
+// reconfiguration holds it around each journaled migration step so
+// recovery operations (compute recovery, memory reconfiguration,
+// re-replication) serialize with partition cutovers rather than tearing
+// a half-copied partition.
+func (m *Manager) LockOps() { m.opMu.Lock() }
+
+// UnlockOps releases the operation lock.
+func (m *Manager) UnlockOps() { m.opMu.Unlock() }
+
+// mems snapshots the memory-server set under the lock.
+func (m *Manager) mems() []*memnode.Server {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*memnode.Server(nil), m.cfg.Mems...)
+}
+
+// Mems returns a snapshot of the attached memory servers — the
+// migration coordinator replicates its journal to every one of them.
+func (m *Manager) Mems() []*memnode.Server { return m.mems() }
+
+// AddMem registers a memory server with the manager (an AddMemory
+// reconfiguration attaching the new node before migration starts).
+func (m *Manager) AddMem(s *memnode.Server) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, old := range m.cfg.Mems {
+		if old.ID() == s.ID() {
+			return
+		}
+	}
+	m.cfg.Mems = append(m.cfg.Mems, s)
+}
+
+// RemoveMem detaches a memory server (a RemoveMemory reconfiguration
+// decommissioning the node after its last partition migrated away).
+func (m *Manager) RemoveMem(id rdma.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.cfg.Mems[:0]
+	for _, s := range m.cfg.Mems {
+		if s.ID() != id {
+			out = append(out, s)
+		}
+	}
+	m.cfg.Mems = out
 }
 
 // peers snapshots the peer list under the lock.
@@ -150,13 +214,15 @@ var DebugRollback func(coord kvlayout.CoordID, txID uint64, w kvlayout.LogWrite,
 // lock notification. Step (1), detection, already happened — ev came
 // from the FD.
 func (m *Manager) RecoverCompute(ev fdetect.Event) (Stats, error) {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
 	start := time.Now() //pandora:wallclock Stats.WallTime is a host-side diagnostic; the protocol-visible latency is Stats.VTime
 	var stats Stats
 
 	// Step 2 — active-link termination (Cor1). Before touching any
 	// transaction state, make sure the suspect — failed or falsely
 	// suspected — can no longer reach memory.
-	for _, ms := range m.cfg.Mems {
+	for _, ms := range m.mems() {
 		ms.RevokeLink(ev.Node)
 	}
 

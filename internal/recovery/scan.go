@@ -16,10 +16,12 @@ import (
 // multi-second cost the paper measures (~5 s per million keys on one
 // scanning thread).
 func (m *Manager) ScanRecoverCompute(ev fdetect.Event) (Stats, error) {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
 	start := time.Now() //pandora:wallclock Stats.WallTime is a host-side diagnostic; the protocol-visible latency is Stats.VTime
 	var stats Stats
 
-	for _, ms := range m.cfg.Mems {
+	for _, ms := range m.mems() {
 		ms.RevokeLink(ev.Node)
 	}
 

@@ -41,8 +41,12 @@ import (
 	"pandora/internal/place"
 	"pandora/internal/quorum"
 	"pandora/internal/rdma"
+	"pandora/internal/reconfig"
 	"pandora/internal/recovery"
 )
+
+// NodeID identifies a node on the simulated RDMA fabric.
+type NodeID = rdma.NodeID
 
 // Key is an 8-byte object key.
 type Key = kvlayout.Key
@@ -79,6 +83,7 @@ const (
 	AbortFault             = metrics.AbortFault
 	AbortCacheStale        = metrics.AbortCacheStale
 	AbortOther             = metrics.AbortOther
+	AbortReconfig          = metrics.AbortReconfig
 )
 
 // AbortKindOf extracts the typed abort reason from a transaction error.
@@ -199,8 +204,10 @@ func (c *Config) fillDefaults() error {
 
 // Fabric node-id layout.
 const (
-	memNodeBase = rdma.NodeID(1000)
-	rcNodeID    = rdma.NodeID(900)
+	memNodeBase     = rdma.NodeID(1000)
+	rcNodeID        = rdma.NodeID(900)
+	reconfigNodeID  = rdma.NodeID(910)
+	reconfigNodeID2 = rdma.NodeID(911) // standby coordinator for ReconfigRecover
 )
 
 // Cluster is a running DKVS.
@@ -213,9 +220,15 @@ type Cluster struct {
 	store  *quorum.Store
 	mgr    *recovery.Manager
 	met    *metrics.Registry
+	rc     *reconfig.Coordinator
+	rc2    *reconfig.Coordinator
 
 	mu      sync.Mutex
 	nodes   []*core.ComputeNode
+	nextMem rdma.NodeID
+	// reconfigHook, when set, fires between journaled migration steps
+	// (chaos crash injection).
+	reconfigHook func(reconfig.StepEvent) error
 	tableID map[string]kvlayout.TableID
 	lastRec map[rdma.NodeID]RecoveryStats
 	// recWake is closed and replaced (under mu) whenever a recovery
@@ -329,6 +342,24 @@ func New(cfg Config) (*Cluster, error) {
 		RCNode:        rcNodeID,
 		Metrics:       c.met,
 	})
+
+	c.nextMem = memNodeBase + rdma.NodeID(cfg.MemoryNodes)
+	rcCfg := reconfig.Config{
+		Fabric:  c.fab,
+		Schema:  c.schema,
+		Mgr:     c.mgr,
+		Peers:   c.reconfigPeers,
+		Node:    reconfigNodeID,
+		Metrics: c.met,
+		OnStep:  c.fireReconfigHook,
+	}
+	c.rc = reconfig.NewCoordinator(rcCfg)
+	// The standby coordinator drives ReconfigRecover from its own fabric
+	// node, modelling a second live process taking over an orphaned
+	// migration; it never fires the chaos hook (the crash already
+	// happened).
+	rcCfg.Node, rcCfg.OnStep = reconfigNodeID2, nil
+	c.rc2 = reconfig.NewCoordinator(rcCfg)
 
 	if !cfg.NoAutoRecover {
 		c.fd.Subscribe(c.onFailure)

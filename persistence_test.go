@@ -50,7 +50,9 @@ func TestPersistenceCommitsSurvivePowerFailure(t *testing.T) {
 	if err := c.PowerFailMemory(0); err != nil {
 		t.Fatal(err)
 	}
-	c.RestartMemory(0)
+	if err := c.RestartMemory(0); err != nil {
+		t.Fatal(err)
+	}
 
 	tx := s.Begin()
 	v, err := tx.Read("kv", 7)
@@ -102,7 +104,9 @@ func TestWithoutFlushVolatileWritesAreLost(t *testing.T) {
 	if err := c.PowerFailMemory(0); err != nil {
 		t.Fatal(err)
 	}
-	c.RestartMemory(0)
+	if err := c.RestartMemory(0); err != nil {
+		t.Fatal(err)
+	}
 
 	tx := s.Begin()
 	v, err := tx.Read("kv", 7)

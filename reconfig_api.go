@@ -1,0 +1,170 @@
+package pandora
+
+import (
+	"fmt"
+
+	"pandora/internal/core"
+	"pandora/internal/memnode"
+	"pandora/internal/rdma"
+	"pandora/internal/reconfig"
+)
+
+// ReconfigState reports an online reconfiguration's journaled progress.
+type ReconfigState = reconfig.Status
+
+// ReconfigStep is one migration-step event delivered to the hook set
+// with SetReconfigHook.
+type ReconfigStep = reconfig.StepEvent
+
+// ErrReconfigInterrupted is the conventional error a reconfig hook
+// returns to simulate a migration-coordinator crash.
+var ErrReconfigInterrupted = reconfig.ErrInterrupted
+
+// reconfigPeers snapshots the compute nodes as migration peers.
+func (c *Cluster) reconfigPeers() []reconfig.Peer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]reconfig.Peer, 0, len(c.nodes))
+	for _, cn := range c.nodes {
+		out = append(out, cn)
+	}
+	return out
+}
+
+// fireReconfigHook dispatches to the currently installed hook, if any.
+func (c *Cluster) fireReconfigHook(ev reconfig.StepEvent) error {
+	c.mu.Lock()
+	fn := c.reconfigHook
+	c.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(ev)
+}
+
+// SetReconfigHook installs fn to fire between journaled migration steps
+// (nil uninstalls). Returning an error from fn abandons the migration
+// mid-flight — the chaos harness's simulated coordinator crash — with
+// the journal and partition marks left for ReconfigRecover.
+func (c *Cluster) SetReconfigHook(fn func(ReconfigStep) error) {
+	c.mu.Lock()
+	c.reconfigHook = fn
+	c.mu.Unlock()
+}
+
+// AddMemory attaches a fresh memory server to the *running* cluster and
+// live-migrates its share of partitions onto it (DESIGN.md §13): one
+// partition at a time moves through copying → cut-over → done, with
+// transactions aborting (reconfig taxonomy) and retrying only while
+// their partition is mid-cutover. The new server is attached — fabric,
+// failure detector, recovery manager, log regions — before the first
+// journal record, so an interrupted migration can resume onto it. It
+// returns the new node's cluster index; on error the migration is
+// resumable with ReconfigRecover.
+func (c *Cluster) AddMemory() (int, error) {
+	c.mu.Lock()
+	id := c.nextMem
+	c.nextMem++
+	c.mu.Unlock()
+
+	cur := c.mgr.Ring()
+	target, err := cur.WithMember(id)
+	if err != nil {
+		return -1, err
+	}
+	srv := memnode.NewServer(c.fab, id, target, c.schema)
+	c.mu.Lock()
+	nodes := append([]*core.ComputeNode(nil), c.nodes...)
+	c.mems = append(c.mems, srv)
+	idx := len(c.mems) - 1
+	c.mu.Unlock()
+	for _, cn := range nodes {
+		srv.EnsureLogRegion(cn.ID(), c.cfg.CoordinatorsPerNode)
+	}
+	c.fd.RegisterMemory(id)
+	c.mgr.AddMem(srv)
+
+	if err := c.rc.Run(reconfig.KindAdd, id, target); err != nil {
+		return idx, err
+	}
+	return idx, nil
+}
+
+// RemoveMemory live-migrates every partition off memory server i, then
+// decommissions the node: it is detached from the recovery manager and
+// the cluster, and fail-stopped (verbs to it error, like any crashed
+// node). The placement ring keeps a positional hole, so surviving
+// members' partitions do not move; a later AddMemory fills the hole.
+// On error the migration is resumable with ReconfigRecover.
+func (c *Cluster) RemoveMemory(i int) error {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.mems) {
+		c.mu.Unlock()
+		return fmt.Errorf("pandora: no memory node %d", i)
+	}
+	srv := c.mems[i]
+	c.mu.Unlock()
+	id := srv.ID()
+	cur := c.mgr.Ring()
+	target, err := cur.WithoutMember(id)
+	if err != nil {
+		return err
+	}
+	if err := c.rc.Run(reconfig.KindRemove, id, target); err != nil {
+		return err
+	}
+	c.detachMemory(id)
+	return nil
+}
+
+// detachMemory removes a decommissioned server from the manager and the
+// cluster and fail-stops it. Idempotent.
+func (c *Cluster) detachMemory(id rdma.NodeID) {
+	c.mgr.RemoveMem(id)
+	c.mu.Lock()
+	out := c.mems[:0]
+	var srv *memnode.Server
+	for _, s := range c.mems {
+		if s.ID() == id {
+			srv = s
+			continue
+		}
+		out = append(out, s)
+	}
+	c.mems = out
+	c.mu.Unlock()
+	if srv != nil {
+		srv.Crash()
+	}
+}
+
+// ReconfigStatus reads the replicated migration journal and reports
+// whether a reconfiguration is incomplete and which partitions still
+// have work.
+func (c *Cluster) ReconfigStatus() (ReconfigState, error) { return c.rc.Status() }
+
+// ReconfigRecover drives any journaled, incomplete migration to
+// completion from the standby coordinator (a second live process taking
+// over an orphaned migration), and reports whether one was found. It is
+// idempotent: every step re-checks the journal and the installed
+// placement, so re-running it — or racing it from several coordinators
+// — converges without re-copying cut-over partitions. A recovered
+// remove-migration also detaches the (now partition-less) subject node.
+func (c *Cluster) ReconfigRecover() (bool, error) {
+	st, err := c.rc2.Status()
+	if err != nil {
+		return false, err
+	}
+	did, err := c.rc2.Recover()
+	if err != nil || !did {
+		return did, err
+	}
+	if st.Active && st.Kind == reconfig.KindRemove {
+		c.detachMemory(st.Subject)
+	}
+	return true, nil
+}
+
+// ReconfigCoordinator exposes the migration coordinator (tests driving
+// idempotency and racing-recovery scenarios directly).
+func (c *Cluster) ReconfigCoordinator() *reconfig.Coordinator { return c.rc }

@@ -1,0 +1,217 @@
+package pandora_test
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	pandora "pandora"
+)
+
+// reconfigAudit asserts the full post-migration invariant sweep: no key
+// lost, none duplicated, no replica divergence, no stray locks, and
+// every per-key counter exactly matches its acked increments.
+func reconfigAudit(t *testing.T, c *pandora.Cluster, keys, incremented, perKey int) {
+	t.Helper()
+	rep, err := c.CheckConsistency("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Keys != keys {
+		t.Fatalf("audit found %d keys, want %d (lost or phantom keys)", rep.Keys, keys)
+	}
+	if len(rep.DuplicateKeys) != 0 || len(rep.DivergentKeys) != 0 {
+		t.Fatalf("audit: duplicates %v divergent %v", rep.DuplicateKeys, rep.DivergentKeys)
+	}
+	if rep.LockedSlots != 0 {
+		t.Fatalf("audit: %d locked slots on a quiescent cluster", rep.LockedSlots)
+	}
+	s := c.Session(0, 0)
+	for k := 0; k < keys; k++ {
+		want := uint64(k) * 10
+		if k < incremented {
+			want += uint64(perKey)
+		}
+		v := readValidated(t, s, "kv", pandora.Key(k))
+		if got := binary.LittleEndian.Uint64(v); got != want {
+			t.Fatalf("key %d = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// pound runs one worker per (node, coordinator) incrementing its own
+// key until stop closes, and returns a wait func yielding the per-key
+// acked increment count (identical across workers by construction).
+func pound(t *testing.T, c *pandora.Cluster, perKey int) (workers int, wait func() int) {
+	workers = c.ComputeNodes() * c.CoordinatorsPerNode()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := c.Session(w%c.ComputeNodes(), w/c.ComputeNodes())
+			for i := 0; i < perKey; i++ {
+				err := s.Update(100000, func(tx *pandora.Tx) error {
+					v, err := tx.Read("kv", pandora.Key(w))
+					if err != nil {
+						return err
+					}
+					return tx.Write("kv", pandora.Key(w), u64(binary.LittleEndian.Uint64(v)+1))
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	return workers, func() int { wg.Wait(); return perKey }
+}
+
+// TestAddMemoryLiveUnderLoad is the headline acceptance scenario: a
+// memory node joins a loaded, running cluster; the resharding migrates
+// partitions onto it in the background; no transaction commits against
+// a stale placement; and a full audit finds zero lost or duplicated
+// keys.
+func TestAddMemoryLiveUnderLoad(t *testing.T) {
+	const keys = 64
+	c := newLoaded(t, testConfig(), keys)
+	before := c.Recovery().Ring()
+
+	workers, wait := pound(t, c, 50)
+	idx, err := c.AddMemory()
+	perKey := wait()
+	if err != nil {
+		t.Fatalf("AddMemory: %v", err)
+	}
+	if idx != 2 {
+		t.Fatalf("new node index = %d, want 2", idx)
+	}
+	if got := c.MemoryNodes(); got != 3 {
+		t.Fatalf("MemoryNodes = %d, want 3", got)
+	}
+
+	after := c.Recovery().Ring()
+	if after.Epoch() <= before.Epoch() {
+		t.Fatalf("epoch did not advance: %d -> %d", before.Epoch(), after.Epoch())
+	}
+	if got := len(after.Nodes()); got != 3 {
+		t.Fatalf("ring has %d nodes, want 3", got)
+	}
+	// The new node must actually host partitions.
+	newID := after.Nodes()[2]
+	hosts := 0
+	for p := uint32(0); p < after.Partitions(); p++ {
+		for _, n := range after.Replicas(p) {
+			if n == newID {
+				hosts++
+			}
+		}
+	}
+	if hosts == 0 {
+		t.Fatal("new memory node hosts no partitions after migration")
+	}
+
+	st, err := c.ReconfigStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active || len(st.Remaining) != 0 {
+		t.Fatalf("migration still active after AddMemory: %+v", st)
+	}
+	reconfigAudit(t, c, keys, workers, perKey)
+
+	// The migrate phase must have been sampled once per moved partition.
+	snap := c.MetricsSnapshot()
+	migrates := uint64(0)
+	for _, ps := range snap.Phases {
+		if ps.Phase == "migrate" {
+			migrates = ps.Count
+		}
+	}
+	if migrates == 0 {
+		t.Fatal("no migrate-phase samples recorded")
+	}
+}
+
+// TestRemoveMemoryLiveUnderLoad decommissions a node from a running
+// 3-node cluster: its partitions migrate to the survivors, the node
+// detaches, and the audit is spotless.
+func TestRemoveMemoryLiveUnderLoad(t *testing.T) {
+	const keys = 64
+	cfg := testConfig()
+	cfg.MemoryNodes = 3
+	c := newLoaded(t, cfg, keys)
+	removedID := c.Recovery().Ring().Nodes()[2]
+
+	workers, wait := pound(t, c, 50)
+	err := c.RemoveMemory(2)
+	perKey := wait()
+	if err != nil {
+		t.Fatalf("RemoveMemory: %v", err)
+	}
+	if got := c.MemoryNodes(); got != 2 {
+		t.Fatalf("MemoryNodes = %d, want 2", got)
+	}
+	ring := c.Recovery().Ring()
+	for p := uint32(0); p < ring.Partitions(); p++ {
+		for _, n := range ring.Replicas(p) {
+			if n == removedID {
+				t.Fatalf("partition %d still placed on removed node %d", p, removedID)
+			}
+		}
+	}
+	reconfigAudit(t, c, keys, workers, perKey)
+
+	// The hole left by the removal is filled by a subsequent add:
+	// surviving members keep their indexes, so only the hole's share of
+	// partitions moves again.
+	if _, err := c.AddMemory(); err != nil {
+		t.Fatalf("AddMemory after remove: %v", err)
+	}
+	if got := c.MemoryNodes(); got != 3 {
+		t.Fatalf("MemoryNodes after re-add = %d, want 3", got)
+	}
+	reconfigAudit(t, c, keys, workers, perKey)
+}
+
+// TestRemoveMemoryRefusesBelowReplication: shrinking below f+1 live
+// members must be rejected up front, with no migration journaled.
+func TestRemoveMemoryRefusesBelowReplication(t *testing.T) {
+	c := newLoaded(t, testConfig(), 16) // 2 nodes, replication 2
+	if err := c.RemoveMemory(1); err == nil {
+		t.Fatal("RemoveMemory below replication accepted")
+	}
+	if err := c.RemoveMemory(7); err == nil {
+		t.Fatal("out-of-range RemoveMemory accepted")
+	}
+	st, err := c.ReconfigStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active {
+		t.Fatal("refused removal left an active migration journaled")
+	}
+}
+
+// TestRestartMemoryMisuse covers the RestartMemory error contract
+// (mirroring RestartCompute): out-of-range index and a never-failed
+// node are misuse.
+func TestRestartMemoryMisuse(t *testing.T) {
+	c := newLoaded(t, testConfig(), 16)
+	if err := c.RestartMemory(9); err == nil {
+		t.Fatal("out-of-range RestartMemory accepted")
+	}
+	if err := c.RestartMemory(-1); err == nil {
+		t.Fatal("negative RestartMemory accepted")
+	}
+	if err := c.RestartMemory(0); err == nil {
+		t.Fatal("RestartMemory of a healthy node accepted")
+	}
+	if err := c.FailMemory(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartMemory(0); err != nil {
+		t.Fatalf("RestartMemory of a failed node refused: %v", err)
+	}
+}

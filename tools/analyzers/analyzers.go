@@ -152,6 +152,7 @@ var virtualTimeSegs = map[string]bool{
 	"chaos":    true,
 	"cache":    true,
 	"metrics":  true,
+	"reconfig": true,
 }
 
 // BasePkgPath strips the " [pkg.test]" variant suffix go list/go vet

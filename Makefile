@@ -34,6 +34,11 @@ bench-smoke:
 	$(GO) test -race ./internal/metrics/
 	$(GO) test -run 'ZeroAlloc' ./internal/metrics/ ./internal/rdma/
 	$(GO) run ./cmd/pandora-bench -experiment readcache -quick -json $(BIN)/BENCH_readcache.json -metrics $(BIN)/BENCH_metrics.json
+	# Hot-lock lane: the quick run regenerates the artifact, which must
+	# match the checked-in bin/BENCH_hotlock.json byte for byte (the pass
+	# is sequential on a virtual clock, so the JSON is seed-deterministic).
+	$(GO) run ./cmd/pandora-bench -experiment hotlock -quick -json $(BIN)/BENCH_hotlock.gen.json
+	cmp $(BIN)/BENCH_hotlock.gen.json $(BIN)/BENCH_hotlock.json
 
 chaos-smoke:
 	$(GO) test -race -short ./internal/chaos/
@@ -51,6 +56,18 @@ chaos-smoke:
 	    $(GO) run ./cmd/pandora-chaos -scenario reconfig -crash $$crash -seed $$seed \
 	      >$(BIN)/r-b.log || exit 1; \
 	    cmp $(BIN)/r-a.log $(BIN)/r-b.log || exit 1; \
+	  done; \
+	done
+	# Hot-lock lane: 3 seeds × {holder, waiter} crashes of a promoted
+	# ticket lane, each run twice and byte-compared (the scenario is
+	# fully scripted, so the event log is a pure function of the seed).
+	for crash in holder waiter; do \
+	  for seed in 1 7 42; do \
+	    $(GO) run ./cmd/pandora-chaos -scenario hotlock -crash $$crash -seed $$seed \
+	      >$(BIN)/h-a.log || exit 1; \
+	    $(GO) run ./cmd/pandora-chaos -scenario hotlock -crash $$crash -seed $$seed \
+	      >$(BIN)/h-b.log || exit 1; \
+	    cmp $(BIN)/h-a.log $(BIN)/h-b.log || exit 1; \
 	  done; \
 	done
 

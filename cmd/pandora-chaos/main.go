@@ -9,6 +9,9 @@
 //	pandora-chaos -scenario reconfig -crash source
 //	                                     # live resharding, crash the copy
 //	                                     # source mid-migration, recover
+//	pandora-chaos -scenario hotlock -crash waiter
+//	                                     # adaptive ticket lanes: crash a
+//	                                     # parked waiter, repair the lane
 //
 // The deterministic event log goes to stdout: two runs with the same
 // flags (escalation off) are byte-identical, which is how a chaos
@@ -29,8 +32,8 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 42, "seed driving the fault schedule and workload")
-	scenario := flag.String("scenario", "mixed", "fault palette: "+strings.Join(chaos.Scenarios(), ", ")+", reconfig")
-	crash := flag.String("crash", "coordinator", "reconfig scenario only — what dies mid-migration: "+strings.Join(chaos.ReconfigModes(), ", "))
+	scenario := flag.String("scenario", "mixed", "fault palette: "+strings.Join(chaos.Scenarios(), ", ")+", reconfig, hotlock")
+	crash := flag.String("crash", "coordinator", "reconfig: what dies mid-migration ("+strings.Join(chaos.ReconfigModes(), ", ")+"); hotlock: which lane participant dies ("+strings.Join(chaos.HotlockModes(), ", ")+")")
 	workload := flag.String("workload", "counter", "workload: counter, bank")
 	events := flag.Int("events", 12, "number of seed-drawn fault events")
 	gap := flag.Duration("gap", 2*time.Millisecond, "wall-clock spacing between events")
@@ -65,6 +68,10 @@ func main() {
 		// The reconfiguration family has its own runner: one live
 		// add-memory migration with a seeded crash, not a drawn schedule.
 		res, err = chaos.RunReconfig(cfg, *crash)
+	} else if *scenario == "hotlock" {
+		// Fully scripted: a promoted ticket lane loses its holder or a
+		// parked waiter at a seeded poll step and must be repaired.
+		res, err = chaos.RunHotlock(cfg, *crash)
 	} else {
 		res, err = chaos.Run(cfg)
 	}

@@ -1,0 +1,305 @@
+package pandora
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"pandora/internal/core"
+	"pandora/internal/kvlayout"
+	"pandora/internal/metrics"
+)
+
+func hotValue(v uint64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// hotCluster builds a 2-compute cluster with the given hot-lock
+// threshold and one preloaded table.
+func hotCluster(t *testing.T, threshold int, noAutoRecover bool) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		ComputeNodes:     2,
+		HotlockThreshold: threshold,
+		NoAutoRecover:    noAutoRecover,
+		Tables:           []TableSpec{{Name: "kv", ValueSize: 16, Capacity: 1024}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadN("kv", 32, func(k Key) []byte { return hotValue(uint64(k)) }); err != nil {
+		c.Close()
+		t.Fatal(err)
+	}
+	return c
+}
+
+// releaseAtSpin installs a DebugQueueWait hook that finishes the
+// holder's transaction (commit) the first time `coord` polls for `key`
+// at or past the given spin — the scripted release that makes queued
+// hand-off reachable from a sequential test.
+func releaseAtSpin(t *testing.T, coord kvlayout.CoordID, key Key, spin int, release func()) {
+	t.Helper()
+	done := false
+	core.DebugQueueWait = func(c kvlayout.CoordID, k kvlayout.Key, s int) {
+		if !done && c == coord && k == key && s >= spin {
+			done = true
+			release()
+		}
+	}
+	t.Cleanup(func() { core.DebugQueueWait = nil })
+}
+
+// TestHotlockQueuedAcquire drives one contended episode end to end
+// with threshold 1: the first conflict promotes the key, the second
+// attempt joins the ticket lane, and the scripted release hands the
+// lock over through one FAA + one CAS instead of a retry ladder.
+func TestHotlockQueuedAcquire(t *testing.T) {
+	c := hotCluster(t, 1, false)
+	defer c.Close()
+	const key = Key(7)
+
+	holder := c.Session(1, 0)
+	htx := holder.Begin()
+	if err := htx.Write("kv", key, hotValue(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	waiter := c.Session(0, 0)
+	releaseAtSpin(t, waiter.CoordinatorID(), key, 2, func() {
+		if err := htx.Commit(); err != nil {
+			t.Errorf("holder commit: %v", err)
+		}
+	})
+	before := c.MetricsSnapshot()
+	if err := waiter.Update(5, func(tx *Tx) error {
+		return tx.Write("kv", key, hotValue(200))
+	}); err != nil {
+		t.Fatalf("queued update: %v", err)
+	}
+
+	d := c.MetricsSnapshot().Sub(before)
+	if got := d.LockCount(metrics.LockPromotion); got != 1 {
+		t.Errorf("promotions = %d, want 1", got)
+	}
+	if got := d.LockCount(metrics.LockQueuedAcquire); got != 1 {
+		t.Errorf("queued acquires = %d, want 1", got)
+	}
+	if got := d.LockCount(metrics.LockRetry); got != 2 {
+		t.Errorf("lock retries = %d, want 2 (promoting conflict + pre-queue CAS)", got)
+	}
+	if got := d.AbortCount(metrics.AbortLockConflict); got != 1 {
+		t.Errorf("lock-conflict aborts = %d, want 1 (the promoting conflict only)", got)
+	}
+	if got := d.LockCount(metrics.LockQueueTimeout); got != 0 {
+		t.Errorf("queue timeouts = %d, want 0", got)
+	}
+
+	// Read back from a cold coordinator (node 1's read cache still holds
+	// the holder's overwritten version).
+	rtx := c.Session(0, 1).Begin()
+	v, err := rtx.Read("kv", key)
+	if err != nil {
+		t.Fatalf("readback read: %v", err)
+	}
+	if err := rtx.Commit(); err != nil {
+		t.Fatalf("readback commit: %v", err)
+	}
+	if !bytes.Equal(v, hotValue(200)) {
+		t.Fatalf("key %d = %x, want the waiter's write", key, v)
+	}
+}
+
+// TestHotlockBaselineKnob pins the HotlockThreshold=-1 baseline: the
+// identical episode burns the whole CAS-retry ladder, promotes
+// nothing, and queues nothing — the behaviour BENCH_hotlock.json
+// measures the queue against.
+func TestHotlockBaselineKnob(t *testing.T) {
+	c := hotCluster(t, -1, false)
+	defer c.Close()
+	const key = Key(7)
+
+	holder := c.Session(1, 0)
+	htx := holder.Begin()
+	if err := htx.Write("kv", key, hotValue(100)); err != nil {
+		t.Fatal(err)
+	}
+	before := c.MetricsSnapshot()
+	waiter := c.Session(0, 0)
+	err := waiter.Update(3, func(tx *Tx) error {
+		return tx.Write("kv", key, hotValue(200))
+	})
+	if !IsAborted(err) {
+		t.Fatalf("baseline update against a held lock: %v", err)
+	}
+	d := c.MetricsSnapshot().Sub(before)
+	if got := d.LockCount(metrics.LockRetry); got != 4 {
+		t.Errorf("lock retries = %d, want 4 (every attempt CAS-failed)", got)
+	}
+	if got := d.AbortCount(metrics.AbortLockConflict); got != 4 {
+		t.Errorf("lock-conflict aborts = %d, want 4", got)
+	}
+	if d.LockCount(metrics.LockPromotion) != 0 || d.LockCount(metrics.LockQueuedAcquire) != 0 {
+		t.Error("baseline must not promote or queue")
+	}
+	if err := htx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := waiter.Update(0, func(tx *Tx) error {
+		return tx.Write("kv", key, hotValue(200))
+	}); err != nil {
+		t.Fatalf("post-release update: %v", err)
+	}
+}
+
+// queuedHold promotes `key` for the session and leaves it holding the
+// key's lock via a queued acquisition: holder conflicts once against
+// blocker (promotion at threshold 1), then re-acquires through the
+// lane while the hook releases the blocker. Returns the holder's open
+// transaction.
+func queuedHold(t *testing.T, c *Cluster, holder, blocker *Session, key Key) *Tx {
+	t.Helper()
+	btx := blocker.Begin()
+	if err := btx.Write("kv", key, hotValue(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Update(0, func(tx *Tx) error {
+		return tx.Write("kv", key, hotValue(2))
+	}); !IsAborted(err) {
+		t.Fatalf("promoting conflict: %v", err)
+	}
+	releaseAtSpin(t, holder.CoordinatorID(), key, 1, func() {
+		if err := btx.Commit(); err != nil {
+			t.Errorf("blocker commit: %v", err)
+		}
+	})
+	htx := holder.Begin()
+	if err := htx.Write("kv", key, hotValue(3)); err != nil {
+		t.Fatalf("queued hold: %v", err)
+	}
+	core.DebugQueueWait = nil
+	return htx
+}
+
+// TestHotlockStealRepairsLane crashes a compute node whose coordinator
+// holds a queued lock (ticket taken, head advance owed) without any
+// log record, so PILL stealing — not recovery — reclaims the word. The
+// stealer must settle the dead holder's lane debt, or the next queued
+// waiter would wedge until its budget expired.
+func TestHotlockStealRepairsLane(t *testing.T) {
+	c := hotCluster(t, 1, false)
+	defer c.Close()
+	const key = Key(9)
+
+	holder := c.Session(1, 0)
+	blocker := c.Session(0, 0)
+	_ = queuedHold(t, c, holder, blocker, key)
+
+	// Crash the holder's node mid-transaction: the lock word is strewn
+	// (stray), the lane shows tail ahead of head.
+	if _, err := c.FailCompute(1); err != nil {
+		t.Fatal(err)
+	}
+
+	before := c.MetricsSnapshot()
+	if err := blocker.Update(2, func(tx *Tx) error {
+		return tx.Write("kv", key, hotValue(4))
+	}); err != nil {
+		t.Fatalf("steal update: %v", err)
+	}
+	d := c.MetricsSnapshot().Sub(before)
+	if got := d.LockCount(metrics.LockTicketRepair); got != 1 {
+		t.Errorf("ticket repairs = %d, want 1 (the dead holder's debt)", got)
+	}
+
+	// The lane must be fully live again: run another queued episode over
+	// the same key from the surviving node's two coordinators.
+	w2 := c.Session(0, 1)
+	btx := w2.Begin()
+	if err := btx.Write("kv", key, hotValue(5)); err != nil {
+		t.Fatal(err)
+	}
+	releaseAtSpin(t, blocker.CoordinatorID(), key, 2, func() {
+		if err := btx.Commit(); err != nil {
+			t.Errorf("second blocker commit: %v", err)
+		}
+	})
+	before = c.MetricsSnapshot()
+	if err := blocker.Update(5, func(tx *Tx) error {
+		return tx.Write("kv", key, hotValue(6))
+	}); err != nil {
+		t.Fatalf("post-repair queued update: %v", err)
+	}
+	d = c.MetricsSnapshot().Sub(before)
+	if got := d.LockCount(metrics.LockQueuedAcquire); got != 1 {
+		t.Errorf("post-repair queued acquires = %d, want 1", got)
+	}
+	if got := d.LockCount(metrics.LockQueueTimeout); got != 0 {
+		t.Errorf("post-repair queue timeouts = %d, want 0 — the lane wedged", got)
+	}
+}
+
+// TestHotlockRecoveryRepairsLane crashes a queued holder after it
+// logged (PointAfterLog), so §3.2.2 recovery rolls the transaction
+// back and releases its lock: the release must also settle the lane
+// debt, and a second full recovery pass must stay a no-op (the repair
+// is guarded by the release CAS, preserving §3.2.3 idempotence).
+func TestHotlockRecoveryRepairsLane(t *testing.T) {
+	c := hotCluster(t, 1, true)
+	defer c.Close()
+	const key = Key(5)
+
+	holder := c.Session(0, 0)
+	blocker := c.Session(1, 0)
+	htx := queuedHold(t, c, holder, blocker, key)
+
+	victim := c.Engine(0)
+	victim.SetInjector(func(_ kvlayout.CoordID, p core.CrashPoint) bool {
+		return p == core.PointAfterLog
+	})
+	_ = htx.Commit() // crashes post-logging, lock held, lane debt unpaid
+	if htx.CommitAcked() {
+		t.Fatal("crashed transaction must not be commit-acked")
+	}
+	ev, ok := c.fd.MarkFailed(victim.ID())
+	if !ok {
+		t.Fatal("node 0 already marked failed")
+	}
+
+	before := c.MetricsSnapshot()
+	stats, err := c.mgr.RecoverCompute(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LoggedTxs != 1 {
+		t.Fatalf("recovery stats: %+v, want 1 logged tx", stats)
+	}
+	d := c.MetricsSnapshot().Sub(before)
+	if got := d.LockCount(metrics.LockTicketRepair); got != 1 {
+		t.Errorf("recovery ticket repairs = %d, want 1", got)
+	}
+
+	// Idempotence: a second full pass from an independent coordinator
+	// releases nothing, so it must repair nothing.
+	before = c.MetricsSnapshot()
+	stats2, err := secondManager(c).RecoverCompute(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.LoggedTxs != 0 || stats2.RolledBack != 0 || stats2.RolledForward != 0 {
+		t.Fatalf("second pass did work: %+v", stats2)
+	}
+	d = c.MetricsSnapshot().Sub(before)
+	if got := d.LockCount(metrics.LockTicketRepair); got != 0 {
+		t.Errorf("second pass repaired %d lanes, want 0", got)
+	}
+
+	// The key is writable again from the survivor and the lane is clean.
+	if err := blocker.Update(2, func(tx *Tx) error {
+		return tx.Write("kv", key, hotValue(7))
+	}); err != nil {
+		t.Fatalf("post-recovery update: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	pandora "pandora"
+	"pandora/internal/core"
+	"pandora/internal/kvlayout"
+	"pandora/internal/metrics"
+	"pandora/internal/workload"
+)
+
+// HotlockPass is one side of the hot-lock experiment: the lock-path
+// metrics delta and the per-episode waiter latency summary (virtual
+// time) of a contended zipfian write lane.
+type HotlockPass struct {
+	LockConflictAborts uint64 `json:"lock_conflict_aborts"`
+	LockRetries        uint64 `json:"lock_retries"`
+	Promotions         uint64 `json:"promotions"`
+	QueuedAcquires     uint64 `json:"queued_acquires"`
+	TicketRepairs      uint64 `json:"ticket_repairs"`
+	QueueTimeouts      uint64 `json:"queue_timeouts"`
+	// FailedEpisodes counts episodes whose waiter exhausted its retry
+	// budget (the baseline's expected outcome on every episode).
+	FailedEpisodes int `json:"failed_episodes"`
+
+	P50  time.Duration `json:"p50_episode_ns"`
+	P99  time.Duration `json:"p99_episode_ns"`
+	Mean time.Duration `json:"mean_episode_ns"`
+}
+
+// HotlockResult is the adaptive FAA ticket-lock experiment: a zipfian
+// (s=1.3) 100%-write lane where every episode pits a waiter against a
+// live lock holder, run once with adaptive queueing (threshold 1) and
+// once with the CAS-spin baseline (HotlockThreshold = -1). The
+// headline numbers are the reduction ratios: queued hand-off turns an
+// episode's whole retry ladder (maxRetries+1 aborts, as many failed
+// lock CASes) into at most one promoting conflict followed by one
+// FAA + one CAS.
+type HotlockResult struct {
+	Keys       int     `json:"keys"`
+	Episodes   int     `json:"episodes"`
+	ZipfS      float64 `json:"zipf_s"`
+	MaxRetries int     `json:"max_retries"`
+
+	Queued   HotlockPass `json:"queued"`
+	Baseline HotlockPass `json:"baseline"`
+
+	// AbortReduction / RetryReduction are baseline ÷ queued with the
+	// queued count floored at 1 (a fully-warm queue aborts never).
+	AbortReduction float64 `json:"abort_reduction"`
+	RetryReduction float64 `json:"retry_reduction"`
+	// Speedup is the baseline ÷ queued p50 episode latency.
+	Speedup float64 `json:"p50_speedup"`
+
+	// Metrics is the queued pass's full observability snapshot; the pass
+	// is sequential on a virtual clock, so it is byte-identical per seed.
+	Metrics pandora.Metrics `json:"metrics"`
+}
+
+// String renders the result.
+func (r *HotlockResult) String() string {
+	return fmt.Sprintf(
+		"Adaptive FAA ticket locks: %d episodes, %d keys, zipf s=%.2f, retry budget %d\n"+
+			"  queued:   %d lock-conflict aborts, %d lock retries, %d queued acquires, %d promotions (%d failed episodes)\n"+
+			"  baseline: %d lock-conflict aborts, %d lock retries (%d failed episodes)\n"+
+			"  episode latency queued:   p50=%v p99=%v mean=%v\n"+
+			"  episode latency baseline: p50=%v p99=%v mean=%v\n"+
+			"  abort reduction: %.0f×, retry reduction: %.0f×, p50 speedup: %.1f×\n",
+		r.Episodes, r.Keys, r.ZipfS, r.MaxRetries,
+		r.Queued.LockConflictAborts, r.Queued.LockRetries, r.Queued.QueuedAcquires,
+		r.Queued.Promotions, r.Queued.FailedEpisodes,
+		r.Baseline.LockConflictAborts, r.Baseline.LockRetries, r.Baseline.FailedEpisodes,
+		r.Queued.P50, r.Queued.P99, r.Queued.Mean,
+		r.Baseline.P50, r.Baseline.P99, r.Baseline.Mean,
+		r.AbortReduction, r.RetryReduction, r.Speedup)
+}
+
+// JSON renders the result as one machine-readable object (the
+// BENCH_hotlock.json CI artifact).
+func (r *HotlockResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Hotlock runs the hot-lock experiment: episodes contended episodes
+// over a 64-key zipfian hot set, queued pass (threshold 1) vs CAS-spin
+// baseline (threshold -1), identical key sequence and holder schedule.
+func Hotlock(s Scale, episodes int) (*HotlockResult, error) {
+	const hotKeys = 64
+	const zipfS = 1.3
+	const maxRetries = 19
+	r := &HotlockResult{Keys: hotKeys, Episodes: episodes, ZipfS: zipfS, MaxRetries: maxRetries}
+
+	qPass, met, err := hotlockPass(episodes, hotKeys, maxRetries, zipfS, 1)
+	if err != nil {
+		return nil, fmt.Errorf("queued pass: %w", err)
+	}
+	bPass, _, err := hotlockPass(episodes, hotKeys, maxRetries, zipfS, -1)
+	if err != nil {
+		return nil, fmt.Errorf("baseline pass: %w", err)
+	}
+	r.Queued, r.Baseline, r.Metrics = qPass, bPass, met
+
+	floor := func(v uint64) float64 {
+		if v < 1 {
+			return 1
+		}
+		return float64(v)
+	}
+	r.AbortReduction = float64(bPass.LockConflictAborts) / floor(qPass.LockConflictAborts)
+	r.RetryReduction = float64(bPass.LockRetries) / floor(qPass.LockRetries)
+	den := qPass.P50
+	if den < 1 {
+		den = 1
+	}
+	r.Speedup = float64(bPass.P50) / float64(den)
+	return r, nil
+}
+
+// hotlockPass runs one measurement pass at the given promotion
+// threshold. Every episode draws a zipfian key, parks a holder
+// transaction on it from the other compute node, and times the
+// waiter's Update on the virtual clock. The holder is released by a
+// scripted DebugQueueWait hook as soon as the waiter starts polling
+// its lane turn — the queued pass's hand-off — while the baseline
+// waiter (which never queues) burns its whole retry ladder before the
+// driver releases the holder and lands the write, so both passes leave
+// identical data.
+func hotlockPass(episodes, keys, maxRetries int, zipfS float64, threshold int) (HotlockPass, pandora.Metrics, error) {
+	var p HotlockPass
+	w := &workload.Micro{Keys: keys}
+	c, err := clusterFor(w, func(cfg *pandora.Config) {
+		cfg.CoordinatorsPerNode = 1
+		cfg.ModelLatency = true
+		cfg.HotlockThreshold = threshold
+	})
+	if err != nil {
+		return p, pandora.Metrics{}, err
+	}
+	defer c.Close()
+
+	clk := c.AttachClock(0, 0)
+	waiter := c.Session(0, 0)
+	holder := c.Session(1, 0)
+
+	// The hook releases the current episode's holder the first time the
+	// waiter polls its lane turn; only the waiter ever queue-waits, and
+	// the pass is single-goroutine, so a plain closure slot is enough.
+	var release func()
+	core.DebugQueueWait = func(_ kvlayout.CoordID, _ kvlayout.Key, _ int) {
+		if release != nil {
+			rel := release
+			release = nil
+			rel()
+		}
+	}
+	defer func() { core.DebugQueueWait = nil }()
+
+	value := func(episode int) []byte {
+		b := make([]byte, 40)
+		binary.LittleEndian.PutUint64(b, uint64(episode))
+		return b
+	}
+
+	before := c.MetricsSnapshot()
+	rng := rand.New(rand.NewSource(7))
+	z := rand.NewZipf(rng, zipfS, 1, uint64(keys-1))
+	lats := make([]time.Duration, 0, episodes)
+	var hookErr error
+	for i := 0; i < episodes; i++ {
+		k := pandora.Key(z.Uint64())
+		htx := holder.Begin()
+		if err := htx.Write("micro", k, value(i)); err != nil {
+			return p, pandora.Metrics{}, fmt.Errorf("holder write key %d: %w", uint64(k), err)
+		}
+		release = func() {
+			if err := htx.Commit(); err != nil && hookErr == nil {
+				hookErr = fmt.Errorf("holder commit key %d: %w", uint64(k), err)
+			}
+		}
+		start := clk.Now()
+		err := waiter.Update(maxRetries, func(tx *pandora.Tx) error {
+			return tx.Write("micro", k, value(i))
+		})
+		lats = append(lats, clk.Now()-start)
+		release = nil
+		if hookErr != nil {
+			return p, pandora.Metrics{}, hookErr
+		}
+		if err != nil {
+			if !pandora.IsAborted(err) {
+				return p, pandora.Metrics{}, fmt.Errorf("waiter key %d: %w", uint64(k), err)
+			}
+			p.FailedEpisodes++
+			// Baseline outcome: the retry ladder burned out against the
+			// live holder. Release it and land the write outside the
+			// measured window so both passes commit the same data.
+			if err := htx.Commit(); err != nil {
+				return p, pandora.Metrics{}, fmt.Errorf("holder commit key %d: %w", uint64(k), err)
+			}
+			if err := waiter.Update(0, func(tx *pandora.Tx) error {
+				return tx.Write("micro", k, value(i))
+			}); err != nil {
+				return p, pandora.Metrics{}, fmt.Errorf("post-release write key %d: %w", uint64(k), err)
+			}
+		} else if !htx.Done() {
+			// The waiter won without the hook firing (it should not
+			// happen; keep the pass sane rather than deadlock the key).
+			if err := htx.Abort(); err != nil {
+				return p, pandora.Metrics{}, err
+			}
+		}
+	}
+
+	after := c.MetricsSnapshot()
+	d := after.Sub(before)
+	p.LockConflictAborts = d.AbortCount(metrics.AbortLockConflict)
+	p.LockRetries = d.LockCount(metrics.LockRetry)
+	p.Promotions = d.LockCount(metrics.LockPromotion)
+	p.QueuedAcquires = d.LockCount(metrics.LockQueuedAcquire)
+	p.TicketRepairs = d.LockCount(metrics.LockTicketRepair)
+	p.QueueTimeouts = d.LockCount(metrics.LockQueueTimeout)
+	p.P50, p.P99, p.Mean = latSummary(lats)
+	return p, after, nil
+}

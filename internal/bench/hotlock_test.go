@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestHotlockReductions runs the experiment at CI scale and pins the
+// acceptance bar: queueing must cut both lock-conflict aborts and
+// retried lock CASes by at least 10× versus the CAS-spin baseline.
+func TestHotlockReductions(t *testing.T) {
+	r, err := Hotlock(Quick(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.Baseline.FailedEpisodes != r.Episodes {
+		t.Errorf("baseline failed %d/%d episodes; every episode should burn its ladder",
+			r.Baseline.FailedEpisodes, r.Episodes)
+	}
+	if r.Queued.FailedEpisodes != 0 {
+		t.Errorf("queued pass failed %d episodes, want 0", r.Queued.FailedEpisodes)
+	}
+	if r.Queued.QueueTimeouts != 0 {
+		t.Errorf("queued pass timed out %d times, want 0", r.Queued.QueueTimeouts)
+	}
+	if r.AbortReduction < 10 {
+		t.Errorf("abort reduction %.1f×, want >= 10×", r.AbortReduction)
+	}
+	if r.RetryReduction < 10 {
+		t.Errorf("retry reduction %.1f×, want >= 10×", r.RetryReduction)
+	}
+	if r.Queued.QueuedAcquires == 0 || r.Queued.Promotions == 0 {
+		t.Error("queued pass never promoted or queued — the adaptive path did not engage")
+	}
+}
+
+// TestHotlockDeterministic pins the artifact contract: two runs at the
+// same scale render byte-identical JSON (CI cmp's the checked-in file).
+func TestHotlockDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full passes")
+	}
+	a, err := Hotlock(Quick(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Hotlock(Quick(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Error("BENCH_hotlock.json is not run-to-run deterministic")
+	}
+}

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runHotlockScenario runs one seeded hot-lock crash scenario and fails
+// the test on any violation, returning the captured event log.
+func runHotlockScenario(t *testing.T, cfg Config, mode string) string {
+	t.Helper()
+	var log strings.Builder
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(&log, format+"\n", args...)
+	}
+	res, err := RunHotlock(cfg, mode)
+	if err != nil {
+		t.Fatalf("run failed: %v\nlog:\n%s", err, log.String())
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v\nlog:\n%s", res.Violations, log.String())
+	}
+	if res.Acked == 0 {
+		t.Fatalf("no acked commits\nlog:\n%s", log.String())
+	}
+	if !strings.Contains(log.String(), "crash:") {
+		t.Fatalf("no crash injected\nlog:\n%s", log.String())
+	}
+	return log.String()
+}
+
+// TestHotlockCrashMatrix drives the seed × crash-mode matrix: for each
+// lane participant (queued holder, parked waiter) and several seeds,
+// the victim dies at a seeded poll step, the lane must be repaired
+// (by the stealer or the next queued waiter), and the structural store
+// invariants plus the last-acknowledged-write audit must hold.
+func TestHotlockCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios skipped in -short mode")
+	}
+	for _, mode := range HotlockModes() {
+		for _, seed := range []int64{1, 7, 42} {
+			mode, seed := mode, seed
+			t.Run(fmt.Sprintf("%s/seed%d", mode, seed), func(t *testing.T) {
+				runHotlockScenario(t, Config{Seed: seed}, mode)
+			})
+		}
+	}
+}
+
+// TestHotlockRejectsUnknownMode: the mode is validated up front.
+func TestHotlockRejectsUnknownMode(t *testing.T) {
+	if _, err := RunHotlock(Config{}, "meteor"); err == nil {
+		t.Fatal("unknown hotlock crash mode accepted")
+	}
+}
+
+// TestHotlockDeterministicLog: the run is fully scripted, so two
+// same-seed runs emit byte-identical logs, and different seeds pick
+// different crash parameters.
+func TestHotlockDeterministicLog(t *testing.T) {
+	capture := func(seed int64, mode string) string {
+		return runHotlockScenario(t, Config{Seed: seed}, mode)
+	}
+	for _, mode := range HotlockModes() {
+		a, b := capture(7, mode), capture(7, mode)
+		if a != b {
+			t.Fatalf("same-seed %s runs diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", mode, a, b)
+		}
+	}
+	head := func(log string) string { return strings.SplitN(log, "\n", 2)[0] }
+	if head(capture(3, "holder")) == head(capture(4, "holder")) {
+		t.Fatal("seeds 3 and 4 picked identical crash parameters")
+	}
+}
+
+// TestHotlockShortSmoke is the -short mode smoke: one holder-crash run
+// CI can afford on every push.
+func TestHotlockShortSmoke(t *testing.T) {
+	runHotlockScenario(t, Config{Seed: 1}, "holder")
+}

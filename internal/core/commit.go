@@ -483,6 +483,15 @@ func (tx *Tx) unlockAll(abortPath bool) error {
 			b.AddWrite(tx.cn.tableAddr(primary, w.ref, kvlayout.SlotKeyOff), tomb)
 		}
 		b.AddWrite(tx.cn.tableAddr(primary, w.ref, kvlayout.SlotLockOff), zero)
+		if w.queued {
+			// A queued acquisition owes its ticket lane one head advance;
+			// same queue pair, so waiters observe the zeroed word no later
+			// than the advanced head. doCleanup may reissue the FAA after a
+			// link fault whose verb actually executed — over-advancing the
+			// head is the safe direction (waiters fall back to the CAS
+			// race; only an under-advance could wedge the lane).
+			b.AddFAA(w.queueHead, 1)
+		}
 	}
 	if b.Len() == 0 {
 		return nil

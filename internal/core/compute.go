@@ -8,6 +8,7 @@ import (
 
 	"pandora/internal/cache"
 	"pandora/internal/fdetect"
+	"pandora/internal/hotlock"
 	"pandora/internal/kvlayout"
 	"pandora/internal/place"
 	"pandora/internal/rdma"
@@ -141,6 +142,9 @@ func NewComputeNode(fab *rdma.Fabric, id rdma.NodeID, ring *place.Ring, schema [
 		}
 		if opts.ReadCacheSize >= 0 {
 			co.rcache = cache.New(opts.ReadCacheSize)
+		}
+		if opts.HotlockThreshold >= 0 {
+			co.hot = hotlock.NewTracker(opts.HotlockThreshold)
 		}
 		cn.coords = append(cn.coords, co)
 	}
@@ -451,6 +455,11 @@ type Coordinator struct {
 	// this coordinator's transaction goroutine; global invalidation
 	// flows through the node's cacheEpoch instead of touching it.
 	rcache *cache.Cache
+	// hot is the adaptive hot-lock contention tracker (nil when the
+	// ticket queue is disabled). Strictly coordinator-local: each
+	// coordinator promotes from its own conflict history, so seeded runs
+	// stay deterministic regardless of coordinator interleaving.
+	hot *hotlock.Tracker
 }
 
 // ID returns the coordinator's unique coordinator-id.

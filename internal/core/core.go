@@ -129,6 +129,15 @@ type Options struct {
 	// value compute-side and registers the cached version in the read
 	// set; OCC validation provides the staleness check (DESIGN.md §11).
 	ReadCacheSize int
+	// HotlockThreshold tunes the per-coordinator contention tracker that
+	// promotes keys to FAA ticket-queue acquisition (DESIGN.md §14).
+	// 0 selects the default streak (hotlock.DefaultThreshold); positive
+	// values promote after that many consecutive lock conflicts;
+	// negative disables the queue entirely — the flag-gated CAS-spin
+	// baseline every hot-lock experiment compares against. The lock word
+	// stays authoritative either way: promotion changes how a waiter
+	// waits, never who may own the lock.
+	HotlockThreshold int
 	// VerbTimeout, when positive, bounds how long any coordinator verb
 	// may be held up by a stalled or slow link before failing with
 	// rdma.ErrVerbTimeout. A timed-out verb had no memory effect; the
@@ -216,6 +225,14 @@ func (e *indeterminateError) Unwrap() error        { return e.cause }
 // DebugSteal, when set by tests, observes every successful PILL lock
 // steal: (stealer coordinator, previous owner, key).
 var DebugSteal func(stealer, owner kvlayout.CoordID, key kvlayout.Key)
+
+// DebugQueueWait, when set by tests, observes every poll iteration of a
+// queued lock wait before its lane read fires: (waiting coordinator,
+// key, 1-based poll count). Sequential drivers (bench, chaos) use it to
+// script the holder's release — or crash — at a chosen spin, which is
+// what makes queued hand-off reachable from a single-goroutine
+// deterministic run.
+var DebugQueueWait func(coord kvlayout.CoordID, key kvlayout.Key, spin int)
 
 // DebugCommit, when set by tests, observes every write-set entry of
 // every commit that completed its apply phase: (coordinator, key,

@@ -39,6 +39,11 @@ type writeEnt struct {
 	newVersion uint64
 	replicas   []rdma.NodeID // replica set snapshot, primary first
 	applied    []rdma.NodeID // replicas the commit write reached
+	// queued marks a lock taken through the hot-lock ticket queue; the
+	// release path then owes the lane one head advance at queueHead
+	// (DESIGN.md §14).
+	queued    bool
+	queueHead rdma.Addr
 }
 
 // Tx is one transaction. A coordinator runs transactions one at a time;
@@ -569,6 +574,18 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 	lockOp := b.Add()
 	readOp := b.Add()
 	mismatches := 0
+	// Ticket-lane state for the queued (promoted hot key) path. Every
+	// taken ticket owes the lane one head advance: if the acquisition
+	// does not complete (abort, fault, crash-free error return), the
+	// debt is settled here on the way out; a completed queued
+	// acquisition transfers it to the write entry for unlockAll.
+	var q queueState
+	defer func() {
+		if q.joined && !q.transferred {
+			tx.payLaneDebt(q.lane)
+		}
+	}()
+	conflicted := false
 	lockStart := tx.phaseClock()
 	for {
 		primary, all, err := cn.replicasFor(ref.partition)
@@ -611,6 +628,12 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 					// rewritten the slot since we cached it; drop the
 					// entry and refresh the slot image under our lock.
 					tx.invalidateCached(ref.table, ref.key)
+					if tx.co.hot != nil {
+						// The dead holder may have died owing its lane a
+						// head advance; settle it so the queue behind the
+						// stolen lock never wedges.
+						tx.repairStolenLane(primary, ref)
+					}
 					if err := tx.co.ep.Read(readOp.Addr, buf); err != nil {
 						return tx.failLocked(ent, primary, all, err)
 					}
@@ -621,14 +644,39 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 					continue
 				}
 			} else {
+				// Live conflict: the CAS lost to a running coordinator.
+				conflicted = true
+				opts.Metrics.CountLock(metrics.LockRetry)
 				if kind == kvlayout.WriteInsert {
 					return errSlotContended
 				}
 				if tx.mayStall() {
+					// The stalling path already waits fairly enough and
+					// never gives up; queueing applies to the abort-retry
+					// regime only.
 					if err := tx.stallWait(); err != nil {
 						return err
 					}
 					continue
+				}
+				if hot := tx.co.hot; hot != nil {
+					if hot.Queued(ref.table, ref.key) && !tx.holdsLocks() {
+						// Promoted key and we hold nothing (the queue keeps
+						// the stalling path's no-hold-and-wait rule): wait
+						// for our lane turn, then retry the CAS.
+						if !q.joined {
+							if err := tx.queueJoin(&q, primary, ref); err != nil {
+								return err
+							}
+						}
+						if err := tx.queueWait(&q, lockOp.Addr, ref); err != nil {
+							return err
+						}
+						continue
+					}
+					if hot.OnConflict(ref.table, ref.key) {
+						opts.Metrics.CountLock(metrics.LockPromotion)
+					}
 				}
 				if opts.Bugs.ComplicitAbort {
 					// Seeded bug: the failed-to-lock object still enters
@@ -667,6 +715,13 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 			}
 			if !found {
 				return ErrNotFound
+			}
+			if q.joined {
+				// The fresh ref may live in another partition (another
+				// lane): settle the old lane's ticket and queue anew if
+				// the lock bounces again.
+				tx.payLaneDebt(q.lane)
+				q = queueState{}
 			}
 			ref = newRef
 			ent.ref = newRef
@@ -720,6 +775,20 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 	// further verbs, so every later failure path — FORD logging below,
 	// validation, apply, abort — sees and releases it.
 	ent.locked = true
+	if q.joined {
+		// Queued acquisition completed: the head-advance debt rides the
+		// entry into unlockAll (commit and abort both release there).
+		ent.queued = true
+		ent.queueHead = q.lane.Head
+		q.transferred = true
+		opts.Metrics.CountLock(metrics.LockQueuedAcquire)
+	} else if hot := tx.co.hot; hot != nil && !conflicted {
+		// Uncontended first-CAS acquisition: feed the quiet streak that
+		// demotes a cooled-down key back to plain CAS locking.
+		if hot.OnAcquired(ref.table, ref.key) {
+			opts.Metrics.CountLock(metrics.LockDemotion)
+		}
+	}
 	tx.writes = append(tx.writes, ent)
 
 	if opts.Protocol == ProtocolFORD && !opts.Bugs.LogWithoutLock {

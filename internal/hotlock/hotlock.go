@@ -1,0 +1,163 @@
+// Package hotlock implements the compute-side half of the adaptive
+// FAA ticket-queue lock layer for contended keys (DESIGN.md §14).
+//
+// The authoritative lock stays the PILL lock word in the object slot:
+// ownership is only ever taken with the same CAS(0 -> word), so
+// stealing and recovery semantics are untouched. What this package
+// adds is an *advisory* FIFO queue next to it. Each partition hosts a
+// small hot-lock region of ticket lanes (kvlayout.HotlockLanes pairs
+// of tail/head words); a key promoted to queued mode maps to one lane
+// by hash. Acquirers FAA the tail to take a ticket, wait for the head
+// to reach it, and only then CAS the lock word — turning an unbounded
+// CAS-retry storm into one FAA plus (usually) one CAS, with FIFO
+// fairness between queued waiters.
+//
+// Because the queue is advisory, every failure mode degrades to the
+// plain CAS race instead of wedging: the head may be over-advanced
+// safely (waiters just race a little earlier), and an under-advanced
+// head left by a crashed participant is repaired lazily by whoever
+// notices (a polling waiter seeing the lock word free, a stealer after
+// a successful steal, or recovery after releasing a dead holder's
+// lock).
+//
+// The Tracker decides *which* keys queue: it is compute-local,
+// per-coordinator state (never shared — determinism depends on each
+// coordinator seeing only its own conflict history) that promotes a
+// key after a conflict streak and demotes it after a quiet streak of
+// uncontended acquisitions.
+package hotlock
+
+import (
+	"pandora/internal/kvlayout"
+	"pandora/internal/rdma"
+)
+
+const (
+	// DefaultThreshold is the conflict streak that promotes a key to
+	// queued mode when the HotlockThreshold knob is left at 0.
+	DefaultThreshold = 3
+
+	// DemoteAfter is the number of consecutive uncontended acquisitions
+	// of a promoted key after which it falls back to plain CAS locking.
+	DemoteAfter = 8
+
+	// WaitBudget bounds the queued-wait poll loop. A waiter whose turn
+	// has not come after this many polls aborts with a lock conflict
+	// exactly as a CAS-spin waiter would, preserving deadlock freedom.
+	WaitBudget = 64
+
+	// trackerSlots sizes the direct-mapped contention table. Power of
+	// two.
+	trackerSlots = 512
+)
+
+// Lane is the fabric address pair of one ticket lane.
+type Lane struct {
+	Tail rdma.Addr
+	Head rdma.Addr
+}
+
+// LaneFor returns the lane serving (table, key) on the partition's
+// primary replica. Deterministic: waiters, releasers, stealers, and
+// recovery all recompute the same pair.
+func LaneFor(primary rdma.NodeID, partition uint32, table kvlayout.TableID, key kvlayout.Key) Lane {
+	region := kvlayout.HotlockRegionID(partition)
+	off := kvlayout.HotlockLaneOffset(kvlayout.HotlockLane(table, key))
+	return Lane{
+		Tail: rdma.Addr{Node: primary, Region: region, Offset: off + kvlayout.HotlockTailOff},
+		Head: rdma.Addr{Node: primary, Region: region, Offset: off + kvlayout.HotlockHeadOff},
+	}
+}
+
+// TurnReached reports whether a ticket's turn has come: the head has
+// advanced to (or past — over-advance is the safe direction) the
+// ticket's sequence.
+func TurnReached(head, ticket uint64) bool {
+	return kvlayout.TicketSeq(head) >= kvlayout.TicketSeq(ticket)
+}
+
+// entry is one direct-mapped contention-table slot.
+type entry struct {
+	table    kvlayout.TableID
+	key      kvlayout.Key
+	used     bool
+	promoted bool
+	streak   int // consecutive conflicts while cold
+	quiet    int // consecutive uncontended acquires while promoted
+}
+
+// Tracker is the per-coordinator adaptive promotion table. It is not
+// safe for concurrent use; each coordinator owns exactly one, matching
+// the one-transaction-at-a-time coordinator model.
+type Tracker struct {
+	threshold int
+	slots     [trackerSlots]entry
+}
+
+// NewTracker returns a tracker promoting keys after the given conflict
+// streak; 0 selects DefaultThreshold.
+func NewTracker(threshold int) *Tracker {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Tracker{threshold: threshold}
+}
+
+func (t *Tracker) slot(table kvlayout.TableID, key kvlayout.Key) *entry {
+	return &t.slots[kvlayout.Mix64(uint64(table)<<48^uint64(key))&(trackerSlots-1)]
+}
+
+// owns reports whether e currently tracks (table, key).
+func (e *entry) owns(table kvlayout.TableID, key kvlayout.Key) bool {
+	return e.used && e.table == table && e.key == key
+}
+
+// Queued reports whether (table, key) is currently promoted to queued
+// acquisition.
+func (t *Tracker) Queued(table kvlayout.TableID, key kvlayout.Key) bool {
+	e := t.slot(table, key)
+	return e.owns(table, key) && e.promoted
+}
+
+// OnConflict records a lock conflict on (table, key) and reports
+// whether this conflict promoted the key. A colder key occupying the
+// same direct-mapped slot is evicted: conflicts are the signal worth
+// remembering.
+func (t *Tracker) OnConflict(table kvlayout.TableID, key kvlayout.Key) (promoted bool) {
+	e := t.slot(table, key)
+	if !e.owns(table, key) {
+		*e = entry{table: table, key: key, used: true}
+	}
+	if e.promoted {
+		e.quiet = 0
+		return false
+	}
+	e.streak++
+	if e.streak >= t.threshold {
+		e.promoted = true
+		e.quiet = 0
+		return true
+	}
+	return false
+}
+
+// OnAcquired records an uncontended (first-CAS) acquisition of
+// (table, key) and reports whether the quiet streak demoted it. Keys
+// not already tracked are left alone — uncontended traffic must not
+// evict hot entries.
+func (t *Tracker) OnAcquired(table kvlayout.TableID, key kvlayout.Key) (demoted bool) {
+	e := t.slot(table, key)
+	if !e.owns(table, key) {
+		return false
+	}
+	if !e.promoted {
+		e.streak = 0
+		return false
+	}
+	e.quiet++
+	if e.quiet >= DemoteAfter {
+		*e = entry{}
+		return true
+	}
+	return false
+}

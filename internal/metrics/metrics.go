@@ -140,6 +140,47 @@ func (v Verb) String() string {
 	return verbNames[v]
 }
 
+// LockEvent names one countable event of the lock path: the CAS-retry
+// ladder (previously invisible inside the backoff loop) and the
+// adaptive hot-lock queue's lifecycle (DESIGN.md §14).
+type LockEvent uint8
+
+const (
+	// LockRetry: a lock CAS lost to a live (non-stray) holder and the
+	// acquisition will be retried or aborted — one count per failed CAS.
+	LockRetry LockEvent = iota
+	// LockQueuedAcquire: a lock was taken through the ticket queue (the
+	// key was promoted and the acquirer joined a lane).
+	LockQueuedAcquire
+	// LockPromotion: the contention tracker promoted a key to queued
+	// mode after a conflict streak.
+	LockPromotion
+	// LockDemotion: a promoted key fell back to plain CAS locking after
+	// a quiet streak.
+	LockDemotion
+	// LockTicketRepair: a lane head left behind by a crashed participant
+	// was advanced by a waiter, a stealer, or recovery.
+	LockTicketRepair
+	// LockQueueTimeout: a queued waiter exhausted its poll budget and
+	// aborted with a lock conflict.
+	LockQueueTimeout
+
+	// NumLockEvents bounds the lock-event enum.
+	NumLockEvents
+)
+
+var lockEventNames = [NumLockEvents]string{
+	"lock-retry", "queued-acquire", "promotion", "demotion", "ticket-repair",
+	"queue-timeout",
+}
+
+func (e LockEvent) String() string {
+	if e >= NumLockEvents {
+		return "invalid"
+	}
+	return lockEventNames[e]
+}
+
 // VerbOutcome classifies a verb completion for counting purposes.
 type VerbOutcome uint8
 
@@ -159,6 +200,7 @@ const (
 type Registry struct {
 	phases [NumPhases]Histogram
 	aborts [NumAbortReasons]atomic.Uint64
+	locks  [NumLockEvents]atomic.Uint64
 	verbs  verbTable
 }
 
@@ -184,6 +226,14 @@ func (r *Registry) CountAbort(reason AbortReason) {
 		reason = AbortOther
 	}
 	r.aborts[reason].Add(1)
+}
+
+// CountLock counts one lock-path event. Nil-safe, zero-alloc.
+func (r *Registry) CountLock(ev LockEvent) {
+	if r == nil || ev >= NumLockEvents {
+		return
+	}
+	r.locks[ev].Add(1)
 }
 
 // CountVerb counts one issued verb against destination node, plus its

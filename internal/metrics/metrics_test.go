@@ -111,17 +111,54 @@ func TestAbortCounters(t *testing.T) {
 	}
 }
 
+func TestLockCounters(t *testing.T) {
+	r := New()
+	r.CountLock(LockRetry)
+	r.CountLock(LockRetry)
+	r.CountLock(LockQueuedAcquire)
+	r.CountLock(LockPromotion)
+	r.CountLock(NumLockEvents + 1) // out of range is dropped
+
+	s := r.Snapshot()
+	if got := s.LockCount(LockRetry); got != 2 {
+		t.Errorf("lock-retry = %d, want 2", got)
+	}
+	if got := s.LockCount(LockQueuedAcquire); got != 1 {
+		t.Errorf("queued-acquire = %d, want 1", got)
+	}
+	if got := s.LockCount(LockDemotion); got != 0 {
+		t.Errorf("demotion = %d, want 0", got)
+	}
+	if len(s.Locks) != int(NumLockEvents) {
+		t.Fatalf("snapshot has %d lock rows, want %d", len(s.Locks), NumLockEvents)
+	}
+
+	// Sub and Idle must see the family.
+	d := r.Snapshot().Sub(s)
+	if !d.Idle() {
+		t.Fatal("self-delta must be idle")
+	}
+	r.CountLock(LockTicketRepair)
+	d = r.Snapshot().Sub(s)
+	if d.Idle() || d.LockCount(LockTicketRepair) != 1 {
+		t.Fatalf("ticket-repair delta = %d, want 1", d.LockCount(LockTicketRepair))
+	}
+}
+
 func TestNilRegistryIsNoOp(t *testing.T) {
 	var r *Registry
 	r.RecordPhase(PhaseLock, 3, time.Second)
 	r.CountAbort(AbortFault)
+	r.CountLock(LockRetry)
 	r.CountVerb(7, VerbWrite, true, VerbFaulted)
 	s := r.Snapshot()
 	if !s.Idle() {
 		t.Fatalf("nil registry snapshot not idle: %+v", s)
 	}
-	if len(s.Phases) != int(NumPhases) || len(s.Aborts) != int(NumAbortReasons) {
-		t.Fatalf("nil snapshot not fully shaped: %d phases, %d aborts", len(s.Phases), len(s.Aborts))
+	if len(s.Phases) != int(NumPhases) || len(s.Aborts) != int(NumAbortReasons) ||
+		len(s.Locks) != int(NumLockEvents) {
+		t.Fatalf("nil snapshot not fully shaped: %d phases, %d aborts, %d locks",
+			len(s.Phases), len(s.Aborts), len(s.Locks))
 	}
 }
 

@@ -32,16 +32,24 @@ type AbortSnapshot struct {
 	Count  uint64 `json:"count"`
 }
 
+// LockSnapshot is one lock-event counter.
+type LockSnapshot struct {
+	Event string `json:"event"`
+	Count uint64 `json:"count"`
+}
+
 // Snapshot is a point-in-time copy of a registry. Rows are fully
 // sorted (phases in enum order, verbs by node then verb, abort reasons
-// in enum order) and every phase/reason row is always present, so a
-// snapshot of a deterministic run marshals to byte-identical JSON.
-// Counters are read without a global barrier: a snapshot taken during
-// a live run is internally consistent per counter, not across them.
+// and lock events in enum order) and every phase/reason/event row is
+// always present, so a snapshot of a deterministic run marshals to
+// byte-identical JSON. Counters are read without a global barrier: a
+// snapshot taken during a live run is internally consistent per
+// counter, not across them.
 type Snapshot struct {
 	Phases []PhaseSnapshot `json:"phases"`
 	Verbs  []VerbSnapshot  `json:"verbs"`
 	Aborts []AbortSnapshot `json:"aborts"`
+	Locks  []LockSnapshot  `json:"locks"`
 }
 
 // Snapshot captures the registry's current counters. A nil registry
@@ -51,6 +59,7 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Phases: make([]PhaseSnapshot, NumPhases),
 		Aborts: make([]AbortSnapshot, NumAbortReasons),
+		Locks:  make([]LockSnapshot, NumLockEvents),
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		ps := &s.Phases[p]
@@ -64,6 +73,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Aborts[a].Reason = a.String()
 		if r != nil {
 			s.Aborts[a].Count = r.aborts[a].Load()
+		}
+	}
+	for e := LockEvent(0); e < NumLockEvents; e++ {
+		s.Locks[e].Event = e.String()
+		if r != nil {
+			s.Locks[e].Count = r.locks[e].Load()
 		}
 	}
 	if r == nil {
@@ -138,6 +153,15 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		out.Aborts[i] = a
 		out.Aborts[i].Count -= prevAbort[a.Reason]
 	}
+	out.Locks = make([]LockSnapshot, len(s.Locks))
+	prevLock := make(map[string]uint64, len(prev.Locks))
+	for _, l := range prev.Locks {
+		prevLock[l.Event] = l.Count
+	}
+	for i, l := range s.Locks {
+		out.Locks[i] = l
+		out.Locks[i].Count -= prevLock[l.Event]
+	}
 	type nodeVerb struct {
 		node uint16
 		verb string
@@ -176,7 +200,23 @@ func (s Snapshot) Idle() bool {
 			return false
 		}
 	}
+	for _, l := range s.Locks {
+		if l.Count != 0 {
+			return false
+		}
+	}
 	return true
+}
+
+// LockCount returns the count recorded for one lock event.
+func (s Snapshot) LockCount(ev LockEvent) uint64 {
+	name := ev.String()
+	for _, l := range s.Locks {
+		if l.Event == name {
+			return l.Count
+		}
+	}
+	return 0
 }
 
 // AbortCount returns the count recorded for one abort reason.

@@ -20,6 +20,7 @@ import (
 
 	"pandora/internal/core"
 	"pandora/internal/fdetect"
+	"pandora/internal/hotlock"
 	"pandora/internal/kvlayout"
 	"pandora/internal/memnode"
 	"pandora/internal/metrics"
@@ -455,6 +456,12 @@ func (m *Manager) unlockTx(ep *rdma.Endpoint, tx strayTx, rollbackOf map[int][]r
 	word := lockWordFor(tx.coord, tx.txID)
 	b := rdma.GetBatch()
 	defer b.Put()
+	type released struct {
+		op      *rdma.Op
+		write   kvlayout.LogWrite
+		primary rdma.NodeID
+	}
+	var rels []released
 	for i, w := range tx.writes {
 		tab := m.cfg.Schema[w.Table]
 		primary, ok := m.Ring().Primary(w.Partition, func(n rdma.NodeID) bool { return !m.cfg.Fabric.IsDown(n) })
@@ -466,10 +473,49 @@ func (m *Manager) unlockTx(ep *rdma.Endpoint, tx strayTx, rollbackOf map[int][]r
 				b.AddWrite(addr, kvlayout.RollbackImage(tab, w))
 			}
 		}
-		b.AddCAS(rdma.Addr{Node: primary, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotLockOff}, word, 0)
+		op := b.AddCAS(rdma.Addr{Node: primary, Region: kvlayout.TableRegionID(w.Table, w.Partition), Offset: tab.SlotOffset(w.Slot) + kvlayout.SlotLockOff}, word, 0)
+		rels = append(rels, released{op: op, write: w, primary: primary})
 	}
 	_ = ep.Do(b.Ops()...) // failed CASes mean "already released" — fine
+	for _, rel := range rels {
+		if rel.op.Err == nil && rel.op.Swapped {
+			// This pass actually freed the dead holder's lock, so it also
+			// settles the hot-lock lane debt the holder may have died with.
+			// Guarding on Swapped keeps re-execution idempotent: a second
+			// pass's CAS finds the word already released and repairs
+			// nothing.
+			m.repairHotlockLane(ep, rel.primary, rel.write)
+		}
+	}
 	return nil
+}
+
+// repairHotlockLane advances the ticket-lane head a recovered lock
+// holder may have left behind (DESIGN.md §14). Whether the dead holder
+// acquired through the queue is unknowable from the word alone, so the
+// repair is guarded by lane state: advance one step only when tickets
+// are outstanding. Over-advancing (the holder never queued, the
+// outstanding ticket is a live waiter's) is the safe direction — the
+// queue is advisory and an early turn just means a CAS race. All
+// errors are ignored; the next waiter repairs what this pass missed.
+func (m *Manager) repairHotlockLane(ep *rdma.Endpoint, primary rdma.NodeID, w kvlayout.LogWrite) {
+	lane := hotlock.LaneFor(primary, w.Partition, w.Table, w.Key)
+	b := rdma.GetBatch()
+	defer b.Put()
+	buf := b.Bytes(16)
+	tailOp := b.AddRead(lane.Tail, buf[:8])
+	headOp := b.AddRead(lane.Head, buf[8:16])
+	if err := ep.Do(tailOp, headOp); err != nil {
+		return
+	}
+	tail := kvlayout.Uint64(buf[:8])
+	head := kvlayout.Uint64(buf[8:16])
+	if kvlayout.TicketSeq(tail) <= kvlayout.TicketSeq(head) {
+		return
+	}
+	if _, swapped, err := ep.CAS(lane.Head, head, head+1); err == nil && swapped {
+		m.cfg.Metrics.CountLock(metrics.LockTicketRepair)
+	}
 }
 
 // rollBack undoes every replica that carries the logged new version,

@@ -175,6 +175,16 @@ type Config struct {
 	// trips; OCC validation re-reads the version at commit, so a stale
 	// hit costs an abort, never a wrong result (DESIGN.md §11).
 	ReadCacheSize int
+
+	// HotlockThreshold tunes the adaptive FAA ticket-queue lock layer
+	// for contended keys (DESIGN.md §14). 0 selects the default conflict
+	// streak (hotlock.DefaultThreshold) after which a coordinator
+	// promotes a key to queued acquisition; positive values override the
+	// streak; negative disables queueing — the CAS-spin baseline the
+	// hot-lock experiments compare against. The slot lock word stays
+	// authoritative in every mode, so PILL stealing and recovery are
+	// unaffected by the knob.
+	HotlockThreshold int
 }
 
 func (c *Config) fillDefaults() error {
@@ -229,8 +239,8 @@ type Cluster struct {
 	// reconfigHook, when set, fires between journaled migration steps
 	// (chaos crash injection).
 	reconfigHook func(reconfig.StepEvent) error
-	tableID map[string]kvlayout.TableID
-	lastRec map[rdma.NodeID]RecoveryStats
+	tableID      map[string]kvlayout.TableID
+	lastRec      map[rdma.NodeID]RecoveryStats
 	// recWake is closed and replaced (under mu) whenever a recovery
 	// record lands; waitRecovery blocks on it instead of polling.
 	recWake chan struct{}
@@ -305,14 +315,15 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	opts := core.Options{
-		Protocol:        cfg.Protocol,
-		Bugs:            cfg.SeedBugs,
-		DisablePILL:     cfg.DisablePILL,
-		StallOnConflict: cfg.StallOnConflict,
-		Persist:         cfg.Persistence,
-		VerbTimeout:     cfg.VerbTimeout,
-		ReadCacheSize:   cfg.ReadCacheSize,
-		Metrics:         c.met,
+		Protocol:         cfg.Protocol,
+		Bugs:             cfg.SeedBugs,
+		DisablePILL:      cfg.DisablePILL,
+		StallOnConflict:  cfg.StallOnConflict,
+		Persist:          cfg.Persistence,
+		VerbTimeout:      cfg.VerbTimeout,
+		ReadCacheSize:    cfg.ReadCacheSize,
+		HotlockThreshold: cfg.HotlockThreshold,
+		Metrics:          c.met,
 	}
 	var peers []recovery.ComputePeer
 	for i := 0; i < cfg.ComputeNodes; i++ {

@@ -16,13 +16,17 @@ import (
 type Session struct {
 	c  *Cluster
 	co *core.Coordinator
+	// bo carries Update's retry-delay ladders across calls, so a burst
+	// of contended Updates keeps its earned backoff; a successful commit
+	// resets it (the conflict ended — the next Update starts fresh).
+	bo backoff
 }
 
 // Session returns the coordinator handle for (compute node, coordinator)
 // — the paper's unit of transaction concurrency.
 func (c *Cluster) Session(node, coord int) *Session {
 	cn := c.node(node)
-	return &Session{c: c, co: cn.Coordinator(coord)}
+	return &Session{c: c, co: cn.Coordinator(coord), bo: newBackoff()}
 }
 
 // CoordinatorID returns the session's unique coordinator-id (embedded in
@@ -46,7 +50,7 @@ func (s *Session) Begin() *Tx {
 // scheduler, and spinning through the whole retry budget can starve it.
 func (s *Session) Update(maxRetries int, fn func(tx *Tx) error) error {
 	var err error
-	b := newBackoff()
+	b := &s.bo
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		tx := s.Begin()
 		if err = fn(tx); err != nil {
@@ -61,6 +65,7 @@ func (s *Session) Update(maxRetries int, fn func(tx *Tx) error) error {
 		}
 		err = tx.Commit()
 		if err == nil || tx.CommitAcked() {
+			b.reset()
 			return nil
 		}
 		if !IsAborted(err) {
@@ -81,6 +86,12 @@ type backoff struct {
 func newBackoff() backoff {
 	return backoff{link: 50 * time.Microsecond, conflict: time.Microsecond}
 }
+
+// reset returns both ladders to their floor after a successful commit.
+// Without it the conflict ladder only ever climbed for the life of the
+// session: one hot burst left every later, uncontended Update paying
+// the ceiling delay on its first conflict.
+func (b *backoff) reset() { *b = newBackoff() }
 
 // wait sleeps before a retry according to the abort's cause. Link
 // faults back off 50µs→2ms. Conflicts get a handful of free immediate

@@ -153,6 +153,7 @@ var virtualTimeSegs = map[string]bool{
 	"cache":    true,
 	"metrics":  true,
 	"reconfig": true,
+	"hotlock":  true,
 }
 
 // BasePkgPath strips the " [pkg.test]" variant suffix go list/go vet
@@ -180,6 +181,10 @@ func IsVirtualTimePkg(path string) bool { return virtualTimeSegs[lastSeg(path)] 
 
 // IsKVLayoutPkg reports whether the package is the lock-word owner.
 func IsKVLayoutPkg(path string) bool { return lastSeg(path) == "kvlayout" }
+
+// IsHotlockPkg reports whether the package is the hot-lock queue
+// policy layer (the second legal home of ticket-word bit operations).
+func IsHotlockPkg(path string) bool { return lastSeg(path) == "hotlock" }
 
 // IsCorePkg reports whether the package holds the transaction engine
 // (the lockpair scope).

@@ -38,6 +38,11 @@ func TestLockword(t *testing.T) { runFixture(t, Lockword, "lockword") }
 // package are legal — that is the point of single ownership.
 func TestLockwordExemptsKVLayout(t *testing.T) { runFixture(t, Lockword, "kvlayout") }
 
+// TestLockwordExemptsHotlockTickets: ticket-sequence mask operations
+// are additionally legal in the hot-lock policy package, but the PILL
+// lock-word shapes stay flagged there.
+func TestLockwordExemptsHotlockTickets(t *testing.T) { runFixture(t, Lockword, "hotlock") }
+
 func TestLockpair(t *testing.T) { runFixture(t, Lockpair, "core") }
 
 func TestBatchescape(t *testing.T) { runFixture(t, Batchescape, "batchescape") }

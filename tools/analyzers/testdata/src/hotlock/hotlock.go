@@ -1,0 +1,29 @@
+// Fixture proving the lockword pass's ticket-word rule exempts the
+// hot-lock policy package: ticket-sequence mask operations are legal
+// here (and in kvlayout), while the PILL lock-word shapes stay illegal
+// — hotlock owns queue policy, not the lock-word layout.
+package hotlock
+
+// CoordID mirrors kvlayout.CoordID (matched by type name).
+type CoordID uint16
+
+const ticketSeqMask = uint64(1)<<48 - 1
+
+// ticketSeq is the shape kvlayout.TicketSeq owns; legal in this
+// package.
+func ticketSeq(word uint64) uint64 { return word & ticketSeqMask }
+
+// turnReached masks ticket words directly; legal in this package.
+func turnReached(head, ticket uint64) bool {
+	return head&ticketSeqMask >= ticket&ticketSeqMask
+}
+
+// lockWordStillIllegal: the PILL lock-word rules are not relaxed here.
+func lockWordStillIllegal(word uint64) bool {
+	return word&(uint64(1)<<63) != 0 // want "raw bit operation with the lock-word locked flag"
+}
+
+// ownerStillIllegal: CoordID extraction stays kvlayout's.
+func ownerStillIllegal(word uint64) CoordID {
+	return CoordID(word >> 32) // want "raw owner-field extraction into CoordID"
+}

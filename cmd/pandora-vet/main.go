@@ -9,6 +9,11 @@
 //
 //	pandora-vet ./...
 //
+// With -json it instead loads and typechecks the module itself and
+// prints one machine-readable report (see standalone.go):
+//
+//	pandora-vet -json ./...
+//
 // The binary speaks the vet unit-checker protocol by hand (the
 // container this repo builds in has no module proxy, so
 // golang.org/x/tools/go/analysis/unitchecker is not available): the go
@@ -47,6 +52,8 @@ func main() {
 		fmt.Println("[]")
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		os.Exit(runUnit(args[0]))
+	case len(args) >= 1 && args[0] == "-json":
+		os.Exit(runJSON(args[1:]))
 	case len(args) >= 1:
 		os.Exit(runStandalone(args))
 	default:

@@ -1,0 +1,397 @@
+package main
+
+// Standalone -json mode: pandora-vet loads, typechecks, and analyzes
+// the module's packages itself — no `go vet` driver — and prints one
+// deterministic JSON report. CI uploads this artifact so a lint failure
+// can be inspected without re-running the toolchain:
+//
+//	pandora-vet -json ./...           # exit 2 + findings array on stdout
+//
+// The loader is module-aware but deliberately small: package import
+// paths under the module path map 1:1 onto directories, build-tag
+// filtering goes through go/build's default context (so the
+// internal/race race.go/norace.go pair resolves exactly as `go build`
+// would), dependencies are typechecked once and memoized, and the
+// standard library resolves through the source importer. Test files
+// are excluded: the production tree is the lint surface, and the vet
+// driver path still covers test variants.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"pandora/tools/analyzers"
+)
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Module   string        `json:"module"`
+	Packages int           `json:"packages"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+func runJSON(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modRoot, modPath, err := moduleInfo()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pandora-vet:", err)
+		return 1
+	}
+	dirs, err := expandPatterns(modRoot, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pandora-vet:", err)
+		return 1
+	}
+
+	ld := newLoader(modRoot, modPath)
+	var pkgs []*loadedPkg
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(modRoot, dir)
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		lp, err := ld.load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pandora-vet: %s: %v\n", path, err)
+			return 1
+		}
+		if lp != nil {
+			pkgs = append(pkgs, lp)
+		}
+	}
+
+	// The loader is done; analysis of distinct packages is independent,
+	// so fan the suite out across packages.
+	var (
+		mu       sync.Mutex
+		findings = []jsonFinding{}
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan *loadedPkg)
+	var wg sync.WaitGroup
+	errored := false
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lp := range ch {
+				for _, a := range analyzers.All() {
+					pass := &analyzers.Pass{
+						Fset:      ld.fset,
+						Files:     lp.files,
+						Pkg:       lp.pkg,
+						TypesInfo: lp.info,
+						PkgPath:   lp.importPath,
+						Report: func(d analyzers.Diagnostic) {
+							pos := ld.fset.Position(d.Pos)
+							file, err := filepath.Rel(modRoot, pos.Filename)
+							if err != nil {
+								file = pos.Filename
+							}
+							mu.Lock()
+							findings = append(findings, jsonFinding{
+								File: filepath.ToSlash(file), Line: pos.Line, Col: pos.Column,
+								Analyzer: d.Category, Message: d.Message,
+							})
+							mu.Unlock()
+						},
+					}
+					if err := a.Run(pass); err != nil {
+						fmt.Fprintf(os.Stderr, "pandora-vet: %s on %s: %v\n", a.Name, lp.importPath, err)
+						mu.Lock()
+						errored = true
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	for _, lp := range pkgs {
+		ch <- lp
+	}
+	close(ch)
+	wg.Wait()
+	if errored {
+		return 1
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jsonReport{Module: modPath, Packages: len(pkgs), Findings: findings}); err != nil {
+		fmt.Fprintln(os.Stderr, "pandora-vet:", err)
+		return 1
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// moduleInfo finds the enclosing module root and its module path by
+// walking up from the working directory to the nearest go.mod.
+func moduleInfo() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves `./...`-style patterns into package
+// directories (directories holding at least one buildable non-test Go
+// file), in sorted order.
+func expandPatterns(modRoot string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasBuildableGo(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasBuildableGo(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err == nil && ok {
+			return true
+		}
+	}
+	return false
+}
+
+// loadedPkg is one typechecked package.
+type loadedPkg struct {
+	importPath string
+	files      []*ast.File
+	pkg        *types.Package
+	info       *types.Info
+}
+
+// loader typechecks module packages recursively, memoizing by import
+// path. Standard-library imports resolve through the source importer
+// (the build container has no module proxy and no precompiled export
+// data).
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	pkgs    map[string]*loadedPkg
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	std, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		pkgs:    make(map[string]*loadedPkg),
+		loading: make(map[string]bool),
+		std:     std,
+	}
+}
+
+// load parses and typechecks the module package at the import path,
+// loading module-internal dependencies first. Returns (nil, nil) for a
+// directory with no buildable files.
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := ld.modRoot
+	if path != ld.modPath {
+		rel, ok := strings.CutPrefix(path, ld.modPath+"/")
+		if !ok {
+			return nil, fmt.Errorf("%s is outside module %s", path, ld.modPath)
+		}
+		dir = filepath.Join(ld.modRoot, filepath.FromSlash(rel))
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.pkgs[path] = nil
+		return nil, nil
+	}
+
+	// Module-internal dependencies first, so the importer below only
+	// ever sees memoized results.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == ld.modPath || strings.HasPrefix(p, ld.modPath+"/") {
+				if _, err := ld.load(p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tc := &types.Config{Importer: (*loaderImporter)(ld)}
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{importPath: path, files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+// loaderImporter adapts the loader as a types.Importer: module paths
+// come from the memo table, everything else from the source importer.
+type loaderImporter loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if lp == nil {
+			return nil, fmt.Errorf("no buildable Go files for %s", path)
+		}
+		return lp.pkg, nil
+	}
+	return ld.std.ImportFrom(path, ld.modRoot, 0)
+}

@@ -586,6 +586,7 @@ func (tx *Tx) Abort() error {
 	if tx.cn.crashed.Load() {
 		return tx.crash()
 	}
+	//pandora:abortother user-requested abort: no protocol cause to classify
 	err := tx.abort(metrics.AbortOther, "user abort")
 	if errors.Is(err, ErrAborted) {
 		return nil

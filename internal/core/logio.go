@@ -153,6 +153,7 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 			cur = tx.logAreaOff() + kvlayout.TxLogOff
 		}
 		if cur+uint64(len(payload)) > tx.logAreaOff()+kvlayout.LockLogOff {
+			//pandora:abortother capacity limit of the FORD log area, not a protocol conflict
 			return tx.abort(metrics.AbortOther, "ford log area full")
 		}
 		b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: cur}, payload)
@@ -214,6 +215,7 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 // overhead PILL eliminates.
 func (tx *Tx) writeLockIntent(ref objRef) error {
 	if tx.intentIdx >= kvlayout.MaxLockIntents {
+		//pandora:abortother capacity limit of the lock-intent log, not a protocol conflict
 		return tx.abort(metrics.AbortOther, "lock-intent log full")
 	}
 	payload := kvlayout.EncodeLockIntent(kvlayout.LockIntent{

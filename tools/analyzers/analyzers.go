@@ -73,6 +73,10 @@ func All() []*Analyzer {
 		Lockpair,
 		Batchescape,
 		Atomicmix,
+		Lanedebt,
+		Abortcause,
+		Cacheinval,
+		Journalstate,
 	}
 }
 
@@ -87,6 +91,13 @@ func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
 const (
 	DirWallclock = "wallclock" // legitimate wall-clock / global-PRNG use
 	DirUnordered = "unordered" // map iteration proven order-independent
+
+	// Escape hatches of the flow-sensitive passes. Each directive names
+	// its pass; the justification comment next to it is the contract.
+	DirAbortOther   = "abortother"   // sanctioned metrics.AbortOther use
+	DirLanedebt     = "lanedebt"     // lane debt settled non-locally (proven)
+	DirCacheinval   = "cacheinval"   // invalidation happens at the caller
+	DirJournalstate = "journalstate" // journal write proven legal out-of-band
 )
 
 // Allowed reports whether the line holding pos (or the line directly

@@ -1,0 +1,211 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Cacheinval enforces the PR 4 read-cache coherence rule in
+// internal/core and internal/recovery: every path that mutates a lock
+// word it did not own — a PILL steal CAS — must reach a cache
+// invalidation (invalidateCached / Invalidate) or a cache-epoch bump
+// (cacheEpoch.Add) before the function returns. A stolen lock means
+// the previous owner failed and recovery may have rewritten the slot;
+// a cached image of that key is stale the moment the steal lands.
+//
+// Classification (flow facts refined on the swapped-flag branches):
+//
+//   - A CAS whose swap argument is built from a lock-word constructor
+//     (lockWord/LockWord/lockWordFor) AND whose expect argument is not
+//     the constant 0 is a *steal* (taking over an existing word).
+//     Acquisitions (expect == 0) and releases (swap == 0) are exempt —
+//     an acquisition takes a fresh lock over a free word and a release
+//     only returns one.
+//   - The steal's swapped result variable drives the branch refinement:
+//     on its false edge the steal did not land and the obligation
+//     drops; an error-guard (`err != nil`) edge also clears (an errored
+//     CAS is re-raced, not owned).
+//   - Additionally, setting failed-coordinator bits (failed.Set) obliges
+//     the function to bump the cache epoch before returning: stray-lock
+//     stealing begins the moment those bits are visible, so cached
+//     reads from before the failure must stop hitting (the
+//     NotifyStrayLocks rule).
+//
+// Escape hatch: //pandora:cacheinval on or above the reported line.
+var Cacheinval = &Analyzer{
+	Name: "cacheinval",
+	Doc:  "lock-word steal paths must invalidate the read cache or bump the cache epoch before returning",
+	Run:  runCacheinval,
+}
+
+func runCacheinval(pass *Pass) error {
+	if !inScopeSegs(pass.PkgPath, "core", "recovery", "cacheinval") {
+		return nil
+	}
+	units := pass.funcUnits(true)
+	pass.runUnitsConcurrently(units, func(u funcUnit) {
+		pass.checkCacheUnit(u)
+	})
+	return nil
+}
+
+const (
+	cacheClean   = iota // nothing owed
+	cachePending        // steal CAS issued, outcome not yet branched on
+	cacheStole          // steal landed, invalidation not yet reached
+)
+
+// cacheFact is the lattice value: the steal obligation plus the epoch
+// obligation from failed.Set.
+type cacheFact struct {
+	steal      int
+	flagName   string // swapped result var of the pending steal
+	errName    string // error result var of the pending steal
+	epochDirty bool   // failed.Set seen, cacheEpoch.Add not yet
+}
+
+type cacheProblem struct {
+	pass     *Pass
+	unit     funcUnit
+	reported map[token.Pos]bool
+}
+
+func (cp *cacheProblem) Entry() any { return cacheFact{} }
+
+func (cp *cacheProblem) Equal(a, b any) bool { return a == b }
+
+func (cp *cacheProblem) Join(a, b any) any {
+	fa, fb := a.(cacheFact), b.(cacheFact)
+	out := fa
+	if fb.steal > out.steal {
+		out = fb
+	}
+	out.epochDirty = fa.epochDirty || fb.epochDirty
+	return out
+}
+
+func (cp *cacheProblem) Transfer(n ast.Node, fact any) any {
+	f := fact.(cacheFact)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		if flag, errName, isSteal := cp.stealAssign(as); isSteal {
+			f.steal = cachePending
+			f.flagName = flag
+			f.errName = errName
+			if flag == "" {
+				// Result discarded: the steal may have landed; the
+				// obligation binds unconditionally.
+				f.steal = cacheStole
+			}
+		}
+	}
+	shallowCalls(n, func(call *ast.CallExpr) {
+		switch calleeName(call) {
+		case "invalidateCached", "Invalidate":
+			f.steal = cacheClean
+			f.epochDirty = false
+		case "Add":
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && lastSelector(sel.X) == "cacheEpoch" {
+				f.steal = cacheClean
+				f.epochDirty = false
+			}
+		case "Set":
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && lastSelector(sel.X) == "failed" {
+				f.epochDirty = true
+			}
+		}
+	})
+	return f
+}
+
+// stealAssign matches `old, swapped, err := ep.CAS(addr, expect, swap)`
+// where swap is built from a lock-word constructor and expect is not
+// the zero constant, returning the swapped and err variable names.
+func (cp *cacheProblem) stealAssign(as *ast.AssignStmt) (flag, errName string, ok bool) {
+	if len(as.Rhs) != 1 {
+		return "", "", false
+	}
+	call, isCall := as.Rhs[0].(*ast.CallExpr)
+	if !isCall || calleeName(call) != "CAS" || len(call.Args) != 3 {
+		return "", "", false
+	}
+	if cp.pass.isZeroConst(call.Args[1]) || cp.pass.isZeroConst(call.Args[2]) {
+		return "", "", false
+	}
+	if !isLockWordCall(call.Args[2]) {
+		return "", "", false
+	}
+	if len(as.Lhs) >= 2 {
+		if id, isID := as.Lhs[1].(*ast.Ident); isID && id.Name != "_" {
+			flag = id.Name
+		}
+	}
+	if len(as.Lhs) >= 3 {
+		if id, isID := as.Lhs[2].(*ast.Ident); isID && id.Name != "_" {
+			errName = id.Name
+		}
+	}
+	return flag, errName, true
+}
+
+func (cp *cacheProblem) Branch(cond ast.Expr, taken bool, fact any) any {
+	f := fact.(cacheFact)
+	if f.steal == cacheClean {
+		return f
+	}
+	switch c := cond.(type) {
+	case *ast.Ident:
+		// The swapped flag remains ground truth until the obligation is
+		// discharged: a later `if stole` branch re-refines a fact that a
+		// previous merge had conservatively joined to "stole".
+		if c.Name == f.flagName && f.flagName != "" {
+			if taken {
+				f.steal = cacheStole
+			} else {
+				f.steal = cacheClean
+			}
+		}
+	case *ast.BinaryExpr:
+		// `err != nil` true edge: the CAS errored; ownership is unknown
+		// but the engine re-races it — the sanctioned idiom returns a
+		// verb failure here, and the retry's steal carries its own
+		// obligation.
+		if f.steal == cachePending && c.Op.String() == "!=" && taken {
+			if id, ok := c.X.(*ast.Ident); ok && f.errName != "" && id.Name == f.errName && isNilIdent(c.Y) {
+				f.steal = cacheClean
+			}
+		}
+	}
+	return f
+}
+
+func (cp *cacheProblem) reportOnce(pos token.Pos, format string, args ...any) {
+	if cp.reported[pos] || cp.pass.Allowed(cp.unit.file, pos, DirCacheinval) {
+		return
+	}
+	cp.reported[pos] = true
+	cp.pass.Reportf(pos, "cacheinval", format, args...)
+}
+
+func (p *Pass) checkCacheUnit(u funcUnit) {
+	cp := &cacheProblem{pass: p, unit: u, reported: make(map[token.Pos]bool)}
+	g := BuildCFG(u.body)
+	res := Solve(g, cp)
+	res.ExitFacts(func(b *Block, ret *ast.ReturnStmt, fact any) {
+		if returnsCrash(ret) {
+			return
+		}
+		f := fact.(cacheFact)
+		pos := u.body.Rbrace
+		if ret != nil {
+			pos = ret.Pos()
+		}
+		if f.steal == cacheStole || f.steal == cachePending {
+			cp.reportOnce(pos,
+				"stolen lock-word path reaches this exit without a cache invalidation or epoch bump: the previous owner failed and cached images of the key are stale (PR 4 rule)")
+		}
+		if f.epochDirty {
+			cp.reportOnce(pos,
+				"failed-coordinator bits are set on this path without a cache-epoch bump: cached reads from before the failure keep hitting (PR 4 rule)")
+		}
+	})
+}

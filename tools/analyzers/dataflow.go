@@ -1,0 +1,162 @@
+package analyzers
+
+// Forward dataflow over the CFG: a worklist solver parameterised by a
+// FlowProblem (lattice + transfer functions). Facts are opaque `any`
+// values owned by the pass; nil is the bottom element meaning
+// "unreached". The solver:
+//
+//   - seeds the entry block with Entry(),
+//   - applies Transfer to each node of a block in order,
+//   - applies Branch on each outgoing edge of a condition block so
+//     passes can refine facts from the branch outcome (the swapped /
+//     stole flag idiom),
+//   - joins facts at merge points with Join,
+//   - iterates to a fixpoint, with a hard cap as a safety net against
+//     a pass whose lattice fails to converge.
+//
+// After solving, Walk replays one block from its In fact so passes can
+// report precisely at the node where a fact becomes a violation.
+
+import "go/ast"
+
+// FlowProblem defines one forward dataflow analysis. Facts must be
+// treated as immutable: Transfer/Branch/Join return new values (or the
+// input unchanged) rather than mutating in place, since a fact may be
+// shared between blocks.
+type FlowProblem interface {
+	// Entry is the fact at function entry.
+	Entry() any
+	// Transfer applies the effect of one block node. fact is non-nil.
+	Transfer(n ast.Node, fact any) any
+	// Branch refines the fact leaving a condition block along the
+	// taken (true) or not-taken edge. cond is the leaf condition (the
+	// CFG splits short-circuit operators, so it is never && or ||).
+	Branch(cond ast.Expr, taken bool, fact any) any
+	// Join combines facts arriving at a merge point. Neither input is
+	// nil.
+	Join(a, b any) any
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal(a, b any) bool
+}
+
+// FlowResult holds the solved per-block facts. In[b] is the fact on
+// entry to b; Out facts are edge-specific and recomputed on demand via
+// Walk, so only In is stored.
+type FlowResult struct {
+	g  *CFG
+	p  FlowProblem
+	In map[*Block]any
+}
+
+// maxFlowIters caps worklist iterations per function. Real lattices in
+// this package have height ≤ 4 per variable; the cap only exists to
+// turn a non-converging pass bug into a loud failure, not an infinite
+// loop.
+const maxFlowIters = 10000
+
+// Solve runs the forward dataflow to fixpoint.
+func Solve(g *CFG, p FlowProblem) *FlowResult {
+	in := make(map[*Block]any, len(g.Blocks))
+	in[g.Entry] = p.Entry()
+
+	// Worklist of blocks whose In changed.
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	iters := 0
+
+	propagate := func(to *Block, fact any) {
+		if fact == nil {
+			return
+		}
+		old, ok := in[to]
+		var merged any
+		if !ok || old == nil {
+			merged = fact
+		} else {
+			merged = p.Join(old, fact)
+		}
+		if ok && old != nil && p.Equal(old, merged) {
+			return
+		}
+		in[to] = merged
+		if !queued[to] {
+			queued[to] = true
+			work = append(work, to)
+		}
+	}
+
+	for len(work) > 0 {
+		iters++
+		if iters > maxFlowIters {
+			panic("analyzers: dataflow failed to converge (lattice bug)")
+		}
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		fact := in[b]
+		if fact == nil {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fact = p.Transfer(n, fact)
+			if fact == nil {
+				break
+			}
+		}
+		if fact == nil || b.Ret != nil {
+			continue
+		}
+		if b.Cond != nil {
+			propagate(b.TSucc, p.Branch(b.Cond, true, fact))
+			propagate(b.FSucc, p.Branch(b.Cond, false, fact))
+		} else {
+			for _, s := range b.Succs {
+				propagate(s, fact)
+			}
+		}
+	}
+	return &FlowResult{g: g, p: p, In: in}
+}
+
+// ExitFacts visits every reachable function exit with the fact in
+// force at that exit: for explicit returns the fact after the block's
+// nodes up to and including the return; for the implicit fall-off exit
+// the fact after the last block. A nil fact (block statically
+// unreached by the analysis) is skipped.
+func (r *FlowResult) ExitFacts(fn func(b *Block, ret *ast.ReturnStmt, fact any)) {
+	r.g.Exits(func(b *Block, ret *ast.ReturnStmt) {
+		fact := r.In[b]
+		if fact == nil {
+			return
+		}
+		for _, n := range b.Nodes {
+			fact = r.p.Transfer(n, fact)
+			if fact == nil {
+				return
+			}
+		}
+		fn(b, ret, fact)
+	})
+}
+
+// Walk replays block b from its solved In fact, invoking visit with
+// the fact in force *before* each node. Returns the fact after the
+// last node (nil if the block was unreached or a transfer dropped to
+// bottom).
+func (r *FlowResult) Walk(b *Block, visit func(n ast.Node, before any)) any {
+	fact := r.In[b]
+	if fact == nil {
+		return nil
+	}
+	for _, n := range b.Nodes {
+		if visit != nil {
+			visit(n, fact)
+		}
+		fact = r.p.Transfer(n, fact)
+		if fact == nil {
+			return nil
+		}
+	}
+	return fact
+}

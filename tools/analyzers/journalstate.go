@@ -1,0 +1,428 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Journalstate enforces the reconfig journal's state-machine discipline
+// (DESIGN.md §13, PR 8) in internal/reconfig: journal writes only
+// persist legal transitions of the per-partition state machine
+// (pending → copying → cutover → done), in order, and a mutated journal
+// image is always persisted before the function gives up control.
+//
+// Image classification (flow facts):
+//
+//   - LOCAL: built from an &image{...} literal — initialization; any
+//     seed states are legal, and persistence is the caller's business
+//     (the Run idiom hands the literal to a step closure).
+//
+//   - JOURNAL: obtained from freshImage()/readJournal() (or cloned from
+//     a journal image) — the persisted protocol state. For these:
+//
+//     J1: a store `im.states[p] = S` with S a PartitionState constant
+//     is legal only when S is the terminal StateDone (idempotent
+//     completion), or the store is dominated by a guard on the SAME
+//     element that rules out skipping: `im.states[p] < C` with C ≤ S,
+//     or `im.states[p] == S-1`. An equality guard on an earlier state
+//     (`== StatePending` before a StateCutover store) is the
+//     skipped-state bug this pass exists to flag.
+//
+//     J2: `im.phase = phaseRunning` re-opens a journaled migration —
+//     only a fresh LOCAL image may carry phaseRunning.
+//
+//     J3: once mutated, the image must reach writeJournal(im) on every
+//     path out of the function (a dirty image dropped on the floor
+//     desynchronizes the journal from the in-memory protocol state).
+//
+// Escape hatch: //pandora:journalstate on or above the reported line.
+var Journalstate = &Analyzer{
+	Name: "journalstate",
+	Doc:  "reconfig journal writes must persist legal state-machine transitions, in order",
+	Run:  runJournalstate,
+}
+
+func runJournalstate(pass *Pass) error {
+	if !inScopeSegs(pass.PkgPath, "reconfig", "journalstate") {
+		return nil
+	}
+	units := pass.funcUnits(true)
+	pass.runUnitsConcurrently(units, func(u funcUnit) {
+		pass.checkJournalUnit(u)
+	})
+	return nil
+}
+
+const (
+	imgLocal = iota + 1
+	imgJournal
+)
+
+// guardKind is a constraint on one states[...] element, established by
+// a dominating branch.
+type guardKind struct {
+	op string // "<" or "=="
+	c  int64
+}
+
+// journalFact is the lattice value: tracked image vars, their
+// dirtiness, and per-element guards. Immutable; copied on write.
+type journalFact struct {
+	images map[string]int       // var name → imgLocal / imgJournal
+	dirty  map[string]bool      // var name → mutated since last persist
+	errs   map[string]string    // var name → guarding error var
+	guards map[string]guardKind // ExprString(states[p]) → constraint
+}
+
+func newJournalFact() journalFact {
+	return journalFact{
+		images: map[string]int{},
+		dirty:  map[string]bool{},
+		errs:   map[string]string{},
+		guards: map[string]guardKind{},
+	}
+}
+
+func (f journalFact) clone() journalFact {
+	out := newJournalFact()
+	for k, v := range f.images {
+		out.images[k] = v
+	}
+	for k, v := range f.dirty {
+		out.dirty[k] = v
+	}
+	for k, v := range f.errs {
+		out.errs[k] = v
+	}
+	for k, v := range f.guards {
+		out.guards[k] = v
+	}
+	return out
+}
+
+type journalProblem struct {
+	pass     *Pass
+	unit     funcUnit
+	reported map[token.Pos]bool
+}
+
+func (jp *journalProblem) reportOnce(pos token.Pos, format string, args ...any) {
+	if jp.reported[pos] || jp.pass.Allowed(jp.unit.file, pos, DirJournalstate) {
+		return
+	}
+	jp.reported[pos] = true
+	jp.pass.Reportf(pos, "journalstate", format, args...)
+}
+
+func (jp *journalProblem) Entry() any { return newJournalFact() }
+
+func (jp *journalProblem) Equal(a, b any) bool {
+	fa, fb := a.(journalFact), b.(journalFact)
+	if len(fa.images) != len(fb.images) || len(fa.dirty) != len(fb.dirty) ||
+		len(fa.errs) != len(fb.errs) || len(fa.guards) != len(fb.guards) {
+		return false
+	}
+	for k, v := range fa.images {
+		if fb.images[k] != v {
+			return false
+		}
+	}
+	for k, v := range fa.dirty {
+		if fb.dirty[k] != v {
+			return false
+		}
+	}
+	for k, v := range fa.errs {
+		if fb.errs[k] != v {
+			return false
+		}
+	}
+	for k, v := range fa.guards {
+		if fb.guards[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (jp *journalProblem) Join(a, b any) any {
+	fa, fb := a.(journalFact), b.(journalFact)
+	out := newJournalFact()
+	for k, v := range fa.images {
+		if w, ok := fb.images[k]; ok {
+			if w > v { // journal wins conservatively
+				v = w
+			}
+			out.images[k] = v
+		} else {
+			out.images[k] = v
+		}
+	}
+	for k, v := range fb.images {
+		if _, ok := out.images[k]; !ok {
+			out.images[k] = v
+		}
+	}
+	for k := range out.images {
+		out.dirty[k] = fa.dirty[k] || fb.dirty[k]
+		if fa.errs[k] == fb.errs[k] {
+			if e := fa.errs[k]; e != "" {
+				out.errs[k] = e
+			}
+		}
+	}
+	// Guards survive a merge only when both sides agree.
+	for k, v := range fa.guards {
+		if w, ok := fb.guards[k]; ok && w == v {
+			out.guards[k] = v
+		}
+	}
+	return out
+}
+
+func (jp *journalProblem) Transfer(n ast.Node, fact any) any {
+	f := fact.(journalFact)
+	as, isAssign := n.(*ast.AssignStmt)
+	if isAssign {
+		f = jp.transferAssign(as, f)
+	}
+	// A writeJournal(im) call anywhere in the node (including return
+	// expressions) cleans the image.
+	shallowCalls(n, func(call *ast.CallExpr) {
+		if calleeName(call) != "writeJournal" || len(call.Args) < 1 {
+			return
+		}
+		id := baseIdent(call.Args[0])
+		if id == nil {
+			return
+		}
+		if f.dirty[id.Name] {
+			f = f.clone()
+			f.dirty[id.Name] = false
+		}
+	})
+	return f
+}
+
+func (jp *journalProblem) transferAssign(as *ast.AssignStmt, f journalFact) journalFact {
+	// Image bindings.
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 && i == 0 {
+			// im, err := freshImage(): the image is result 0.
+			rhs = as.Rhs[0]
+		}
+		if rhs == nil {
+			continue
+		}
+		switch cls := jp.classifyImageExpr(rhs, f); cls {
+		case imgLocal, imgJournal:
+			f = f.clone()
+			f.images[id.Name] = cls
+			f.dirty[id.Name] = false
+			if cls == imgJournal && len(as.Lhs) == 2 && i == 0 {
+				if eid, ok := as.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+					f.errs[id.Name] = eid.Name
+				}
+			}
+		}
+	}
+
+	// Transition stores.
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) > i {
+			rhs = as.Rhs[i]
+		}
+		if rhs == nil {
+			continue
+		}
+		switch l := lhs.(type) {
+		case *ast.IndexExpr:
+			// im.states[p] = S
+			sel, ok := l.X.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "states" {
+				continue
+			}
+			id := baseIdent(sel.X)
+			if id == nil {
+				continue
+			}
+			cls := f.images[id.Name]
+			if cls == 0 {
+				continue
+			}
+			key := types.ExprString(l)
+			s, isConst := jp.pass.intConstOfType(rhs, "PartitionState")
+			if cls == imgJournal && isConst {
+				jp.checkTransition(as.Pos(), key, s, f)
+			}
+			f = f.clone()
+			f.dirty[id.Name] = true
+			delete(f.guards, key) // the element changed; the guard is stale
+		case *ast.SelectorExpr:
+			// im.phase = X
+			if l.Sel.Name != "phase" {
+				continue
+			}
+			id := baseIdent(l.X)
+			if id == nil || f.images[id.Name] == 0 {
+				continue
+			}
+			if f.images[id.Name] == imgJournal && lastSelector(rhs) == "phaseRunning" {
+				jp.reportOnce(as.Pos(),
+					"journal image re-opened with phaseRunning: only a freshly built local image may carry the running phase (PR 8 rule)")
+			}
+			f = f.clone()
+			f.dirty[id.Name] = true
+		}
+	}
+	return f
+}
+
+// checkTransition applies J1 to a constant store into a journal image.
+func (jp *journalProblem) checkTransition(pos token.Pos, key string, s int64, f journalFact) {
+	const stateDone = 3 // terminal; pending=0 copying=1 cutover=2
+	if s >= stateDone {
+		return // idempotent completion is always legal
+	}
+	g, ok := f.guards[key]
+	if !ok {
+		jp.reportOnce(pos,
+			"unguarded journal state store: persisting state %d without a dominating guard on %s can skip or rewind the migration state machine (PR 8 rule)", s, key)
+		return
+	}
+	switch g.op {
+	case "<":
+		if g.c > s {
+			jp.reportOnce(pos,
+				"journal state store of %d is guarded only by %s < %d, which admits rewinding past states (PR 8 rule)", s, key, g.c)
+		}
+	case "==":
+		if g.c != s-1 {
+			jp.reportOnce(pos,
+				"journal state store skips the state machine: %s == %d does not precede state %d (PR 8 rule)", key, g.c, s)
+		}
+	}
+}
+
+// classifyImageExpr classifies an RHS as building a LOCAL image, a
+// JOURNAL image, or neither (0).
+func (jp *journalProblem) classifyImageExpr(rhs ast.Expr, f journalFact) int {
+	if ue, ok := rhs.(*ast.UnaryExpr); ok {
+		rhs = ue.X
+	}
+	if cl, ok := rhs.(*ast.CompositeLit); ok {
+		if isNamed(jp.pass.TypesInfo.Types[cl].Type, "image") {
+			return imgLocal
+		}
+		return 0
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		switch calleeName(call) {
+		case "freshImage", "readJournal":
+			return imgJournal
+		case "clone":
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id := baseIdent(sel.X); id != nil {
+					if cls := f.images[id.Name]; cls != 0 {
+						return cls
+					}
+				}
+			}
+			return imgJournal // conservative: an untracked clone source
+		}
+	}
+	return 0
+}
+
+func (jp *journalProblem) Branch(cond ast.Expr, taken bool, fact any) any {
+	f := fact.(journalFact)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return f
+	}
+	// `<err> != nil` true edge after `im, err := freshImage()`: the
+	// image is unusable; drop it so error-return paths stay clean.
+	if be.Op.String() == "!=" && taken && isNilIdent(be.Y) {
+		if id, ok := be.X.(*ast.Ident); ok {
+			for name, e := range f.errs {
+				if e == id.Name {
+					f = f.clone()
+					delete(f.images, name)
+					delete(f.dirty, name)
+					delete(f.errs, name)
+				}
+			}
+		}
+		return f
+	}
+	// Guards over states elements: `im.states[p] < C`, `== C`.
+	idx, ok := be.X.(*ast.IndexExpr)
+	if !ok {
+		return f
+	}
+	sel, ok := idx.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "states" {
+		return f
+	}
+	id := baseIdent(sel.X)
+	if id == nil || f.images[id.Name] == 0 {
+		return f
+	}
+	c, isConst := jp.pass.intConstOfType(be.Y, "PartitionState")
+	if !isConst {
+		return f
+	}
+	key := types.ExprString(idx)
+	set := func(g guardKind) {
+		f = f.clone()
+		f.guards[key] = g
+	}
+	switch be.Op.String() {
+	case "<":
+		if taken {
+			set(guardKind{op: "<", c: c})
+		}
+	case "<=":
+		if taken {
+			set(guardKind{op: "<", c: c + 1})
+		}
+	case "==":
+		if taken {
+			set(guardKind{op: "==", c: c})
+		}
+	case "!=":
+		if !taken { // else-edge of != is ==
+			set(guardKind{op: "==", c: c})
+		}
+	}
+	return f
+}
+
+func (p *Pass) checkJournalUnit(u funcUnit) {
+	jp := &journalProblem{pass: p, unit: u, reported: make(map[token.Pos]bool)}
+	g := BuildCFG(u.body)
+	res := Solve(g, jp)
+	res.ExitFacts(func(b *Block, ret *ast.ReturnStmt, fact any) {
+		f := fact.(journalFact)
+		for name, dirty := range f.dirty {
+			if !dirty || f.images[name] != imgJournal {
+				continue
+			}
+			pos := u.body.Rbrace
+			if ret != nil {
+				pos = ret.Pos()
+			}
+			jp.reportOnce(pos,
+				"mutated journal image %s reaches this exit without writeJournal: the persisted journal no longer matches the in-memory migration state (PR 8 rule)", name)
+		}
+	})
+}

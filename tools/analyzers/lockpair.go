@@ -2,20 +2,21 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
 // Lockpair enforces the lock-registration discipline in internal/core:
 // once a lock-acquiring CAS has been posted, the transaction's write
-// set must learn about the lock before any further fault-able fabric
-// verb fires, so that every failure path (abort, crash recovery,
+// set must learn about the lock before the function can give up
+// control, so that every failure path (abort, crash recovery,
 // validation) sees and releases it. This is exactly the bug class PR 1
 // fixed by hand: a link fault injected between the lock CAS and the
 // write-set registration leaked the lock until PILL stealing reclaimed
 // it.
 //
-// The pass is flow-insensitive and works in source order over each
-// function body. Events:
+// The pass runs the shared CFG/dataflow engine over each function
+// body. Events:
 //
 //   - LOCK: a fabric post that can take a lock — ep.CAS(..., ...,
 //     tx.lockWord()) directly, or ep.Do/DoSeq(...) where an argument
@@ -24,26 +25,25 @@ import (
 //   - REG: a write-set registration — `tx.writes = append(tx.writes,
 //     ...)`, a call to failLocked (the lock hand-over used by error
 //     paths), or `w.locked = ...` (marking an already-registered entry
-//     as holding its lock).
-//   - VERB: any other Endpoint verb call (Read/Write/CAS/FAA/Do/
-//     DoSeq/Flush).
+//     as holding its lock). A REG discharges the obligation.
 //
-// Rules:
+// The obligation is refined along branch edges instead of by source
+// order:
 //
-//	R1 — every LOCK must be followed by a REG somewhere later in the
-//	     function.
-//	R2 — every VERB between a LOCK and its first following REG must be
-//	     guarded: its nearest enclosing if-statement must contain a REG
-//	     (the `if err := ep.Read(...); err != nil { return
-//	     tx.failLocked(...) }` idiom).
-//	R3 — a multi-op Do/DoSeq carrying a lock CAS (the one-doorbell
-//	     CAS+READ shape) must handle its own error path: its nearest
-//	     enclosing if-statement must contain a REG. Single-op posts are
-//	     exempt — link admission happens before execution, so an
-//	     errored single CAS never took the lock.
+//   - a single-op post's `err != nil` edge clears — link admission
+//     happens before execution, so an errored single CAS never took
+//     the lock. A multi-op doorbell's error edge does NOT clear: an
+//     earlier op in the doorbell may have executed the CAS before the
+//     fault, which is why the error path must itself register
+//     (failLocked) or prove the CAS never fired (`lockOp.Swapped`
+//     false edge).
+//   - the swapped-result false edge clears — the word was not taken.
+//
+// Any non-crash exit reachable while the obligation is outstanding is
+// the leak; the diagnostic points at the lock post.
 var Lockpair = &Analyzer{
 	Name: "lockpair",
-	Doc:  "lock-acquiring CAS must register in the write set before further fabric verbs",
+	Doc:  "lock-acquiring CAS must register in the write set before the function gives up control",
 	Run:  runLockpair,
 }
 
@@ -57,130 +57,164 @@ func runLockpair(pass *Pass) error {
 	if !IsCorePkg(pass.PkgPath) {
 		return nil
 	}
-	for _, file := range pass.Files {
-		// Tests deliberately plant stray locks from fake coordinators to
-		// exercise PILL stealing; the registration discipline applies to
-		// production code.
-		if pass.isTestFile(file) {
-			continue
-		}
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			pass.checkLockFunc(fd)
-		}
-	}
+	units := pass.funcUnits(true)
+	pass.runUnitsConcurrently(units, func(u funcUnit) {
+		pass.checkLockUnit(u)
+	})
 	return nil
 }
 
-type lockEvent struct {
-	node    ast.Node
-	kind    int  // evLock, evReg, evVerb
-	multi   bool // LOCK: multi-op doorbell post
-	guarded bool // VERB/LOCK: nearest enclosing if contains a REG
-	cond    bool // REG: inside an error-guard if — covers only the
-	// error path, so it cannot terminate a lock's window
-}
-
 const (
-	evLock = iota
-	evReg
-	evVerb
+	lockNone    = iota
+	lockPending // lock may be held, write set has not learned it
 )
 
-func (p *Pass) checkLockFunc(fd *ast.FuncDecl) {
-	lockVars := p.lockOpVars(fd)
+// lockFact is the lattice value: the outstanding lock obligation.
+type lockFact struct {
+	state    int
+	pos      token.Pos // the lock post, for reporting
+	flagName string    // swapped result var of a direct CAS post
+	errName  string    // error var of the post
+	multi    bool      // multi-op doorbell (error edge does not clear)
+	swapSel  bool      // obligation already refined by a .Swapped edge
+}
 
-	var events []lockEvent
-	// ifStack tracks enclosing if-statements during the walk so each
-	// event can be tagged with whether its error path registers and
-	// whether a registration is merely an error-path guard.
-	type ifFrame struct {
-		stmt     *ast.IfStmt
-		errGuard bool
-	}
-	var ifStack []ifFrame
-	inErrGuard := func() bool {
-		for _, fr := range ifStack {
-			if fr.errGuard {
-				return true
-			}
-		}
-		return false
-	}
+type lockProblem struct {
+	pass     *Pass
+	lockVars map[string]bool
+	reported map[token.Pos]bool
+}
 
-	var walk func(n ast.Node)
-	walk = func(n ast.Node) {
-		ast.Inspect(n, func(m ast.Node) bool {
-			switch m := m.(type) {
-			case *ast.IfStmt:
-				ifStack = append(ifStack, ifFrame{stmt: m, errGuard: p.condTestsError(m.Cond)})
-				if m.Init != nil {
-					walk(m.Init)
-				}
-				walk(m.Cond)
-				walk(m.Body)
-				ifStack = ifStack[:len(ifStack)-1]
-				if m.Else != nil {
-					walk(m.Else)
-				}
-				return false
-			case *ast.AssignStmt:
-				if p.isRegAssign(m) {
-					events = append(events, lockEvent{node: m, kind: evReg, cond: inErrGuard()})
-				}
-				return true
-			case *ast.CallExpr:
-				if calleeName(m) == "failLocked" {
-					events = append(events, lockEvent{node: m, kind: evReg, cond: inErrGuard()})
-					return true
-				}
-				if !isNamed(p.recvType(m), "Endpoint") || !endpointVerbs[calleeName(m)] {
-					return true
-				}
-				guarded := len(ifStack) > 0 && p.ifRegisters(ifStack[len(ifStack)-1].stmt)
-				if isLock, multi := p.isLockPost(m, lockVars); isLock {
-					events = append(events, lockEvent{node: m, kind: evLock, multi: multi, guarded: guarded})
-				} else {
-					events = append(events, lockEvent{node: m, kind: evVerb, guarded: guarded})
-				}
-				return true
-			}
-			return true
-		})
-	}
-	walk(fd.Body)
+func (lp *lockProblem) Entry() any { return lockFact{} }
 
-	for i, ev := range events {
-		if ev.kind != evLock {
-			continue
+func (lp *lockProblem) Equal(a, b any) bool { return a == b }
+
+func (lp *lockProblem) Join(a, b any) any {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if fa.state == lockPending {
+		return fa
+	}
+	return fb
+}
+
+func (lp *lockProblem) Transfer(n ast.Node, fact any) any {
+	f := fact.(lockFact)
+	as, isAssign := n.(*ast.AssignStmt)
+	if isAssign && lp.pass.isRegAssign(as) {
+		f = lockFact{}
+	}
+	shallowCalls(n, func(call *ast.CallExpr) {
+		switch calleeName(call) {
+		case "failLocked":
+			f = lockFact{}
+			return
+		case "unlockAddr", "unlockAll":
+			// Releasing the word discharges the obligation: the slot-moved
+			// and insert-conflict back-out paths release and return without
+			// ever registering. (Their release-failure branches hand the
+			// lock to failLocked.)
+			f = lockFact{}
+			return
 		}
-		if ev.multi && !ev.guarded {
-			p.Reportf(ev.node.Pos(), "lockpair",
-				"multi-op doorbell posts a lock CAS but its error path does not register the lock (check Swapped / call failLocked): a fault on a later op in the doorbell leaks the lock (PR 1 class)")
-			continue
+		isLock, multi := lp.lockPost(call)
+		if !isLock {
+			return
 		}
-		reg := -1
-		for j := i + 1; j < len(events); j++ {
-			if events[j].kind == evReg && !events[j].cond {
-				reg = j
-				break
+		f = lockFact{state: lockPending, pos: call.Pos(), multi: multi}
+		if !isAssign {
+			return
+		}
+		// A post whose results are bound directly: capture the swapped
+		// flag (3-ary CAS form) and the error for branch refinement.
+		direct := false
+		for _, rhs := range as.Rhs {
+			if rhs == ast.Expr(call) {
+				direct = true
 			}
 		}
-		if reg < 0 {
-			p.Reportf(ev.node.Pos(), "lockpair",
-				"lock-acquiring CAS is never registered in the write set in this function; every failure path after it must be able to release the lock")
-			continue
+		if !direct {
+			return
 		}
-		for j := i + 1; j < reg; j++ {
-			if events[j].kind == evVerb && !events[j].guarded {
-				p.Reportf(events[j].node.Pos(), "lockpair",
-					"fabric verb fires between a lock-acquiring CAS and its write-set registration without a registering error path; a fault here leaks the lock (PR 1 class)")
+		if len(as.Lhs) > 0 {
+			if id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+				f.errName = id.Name
+			}
+		}
+		if !multi && len(as.Lhs) == 3 {
+			if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+				f.flagName = id.Name
+			}
+		}
+	})
+	return f
+}
+
+// lockPost classifies an Endpoint verb call as a lock-acquiring post
+// and reports whether it is a multi-op doorbell.
+func (lp *lockProblem) lockPost(call *ast.CallExpr) (isLock, multi bool) {
+	if !isNamed(lp.pass.recvType(call), "Endpoint") || !endpointVerbs[calleeName(call)] {
+		return false, false
+	}
+	return lp.pass.isLockPost(call, lp.lockVars)
+}
+
+func (lp *lockProblem) Branch(cond ast.Expr, taken bool, fact any) any {
+	f := fact.(lockFact)
+	if f.state != lockPending {
+		return f
+	}
+	switch c := cond.(type) {
+	case *ast.Ident:
+		// The direct CAS's swapped result: false edge means the word was
+		// not taken.
+		if f.flagName != "" && c.Name == f.flagName && !taken {
+			return lockFact{}
+		}
+	case *ast.SelectorExpr:
+		// `lockOp.Swapped`: the doorbell error path proving whether the
+		// CAS fired. False edge clears; the true edge now knows the lock
+		// IS held, so the error refinement below must stop clearing.
+		if c.Sel.Name == "Swapped" {
+			if !taken {
+				return lockFact{}
+			}
+			f.swapSel = true
+			return f
+		}
+	case *ast.BinaryExpr:
+		// `err != nil` on the post's error: an errored single-op post
+		// never executed (admission before execution). A multi-op
+		// doorbell may have fired the CAS before the fault.
+		if c.Op.String() == "!=" && taken && !f.multi && !f.swapSel && f.errName != "" && isNilIdent(c.Y) {
+			if id, ok := c.X.(*ast.Ident); ok && id.Name == f.errName {
+				return lockFact{}
 			}
 		}
 	}
+	return f
+}
+
+func (p *Pass) checkLockUnit(u funcUnit) {
+	lp := &lockProblem{pass: p,
+		lockVars: p.lockOpVars(u.body), reported: make(map[token.Pos]bool)}
+	g := BuildCFG(u.body)
+	res := Solve(g, lp)
+	res.ExitFacts(func(b *Block, ret *ast.ReturnStmt, fact any) {
+		if returnsCrash(ret) {
+			return
+		}
+		f := fact.(lockFact)
+		if f.state != lockPending || lp.reported[f.pos] {
+			return
+		}
+		lp.reported[f.pos] = true
+		kind := "lock-acquiring CAS"
+		if f.multi {
+			kind = "doorbell posting a lock CAS"
+		}
+		p.Reportf(f.pos, "lockpair",
+			"%s can reach a function exit before the write set registers the lock (append to writes, set .locked, or hand over via failLocked): a fault on that path leaks the lock (PR 1 class)", kind)
+	})
 }
 
 // isRegAssign matches the two registration assignment shapes:
@@ -205,45 +239,12 @@ func (p *Pass) isRegAssign(as *ast.AssignStmt) bool {
 	return false
 }
 
-// condTestsError reports whether an if condition inspects an
-// error-typed value (`err != nil`, `errors.Is(...)`, ...): the branch
-// is an error guard, so a registration inside it covers only the
-// failure path.
-func (p *Pass) condTestsError(cond ast.Expr) bool {
-	return containsNode(cond, func(n ast.Node) bool {
-		e, ok := n.(ast.Expr)
-		if !ok {
-			return false
-		}
-		tv, ok := p.TypesInfo.Types[e]
-		if !ok || tv.Type == nil {
-			return false
-		}
-		n2 := namedType(tv.Type)
-		return n2 != nil && n2.Obj().Name() == "error" && n2.Obj().Pkg() == nil
-	})
-}
-
-// ifRegisters reports whether the if-statement's subtree contains a
-// registration event.
-func (p *Pass) ifRegisters(ifs *ast.IfStmt) bool {
-	return containsNode(ifs, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			return p.isRegAssign(n)
-		case *ast.CallExpr:
-			return calleeName(n) == "failLocked"
-		}
-		return false
-	})
-}
-
 // lockOpVars collects names of local variables bound to Op values whose
 // Swap field is built from lockWord(), so Do(lockOp, ...) posts are
 // recognised even when the CAS literal was built earlier.
-func (p *Pass) lockOpVars(fd *ast.FuncDecl) map[string]bool {
+func (p *Pass) lockOpVars(body ast.Node) map[string]bool {
 	vars := make(map[string]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true

@@ -25,6 +25,10 @@ func TestDeterminismScope(t *testing.T) {
 		"pandora/internal/core [pandora/internal/core.test]",
 		"pandora/internal/rdma_test [pandora/internal/rdma.test]",
 		"pandora/internal/metrics [pandora/internal/metrics.test]",
+		"pandora/internal/hotlock",
+		"pandora/internal/reconfig",
+		"pandora/internal/hotlock [pandora/internal/hotlock.test]",
+		"pandora/internal/reconfig [pandora/internal/reconfig.test]",
 	} {
 		if !IsVirtualTimePkg(p) {
 			t.Fatalf("%s must be a virtual-time package", p)
@@ -48,3 +52,15 @@ func TestLockpair(t *testing.T) { runFixture(t, Lockpair, "core") }
 func TestBatchescape(t *testing.T) { runFixture(t, Batchescape, "batchescape") }
 
 func TestAtomicmix(t *testing.T) { runFixture(t, Atomicmix, "atomicmix") }
+
+// The flow-sensitive passes: each fixture holds the pass's golden
+// must-flag shape (the historical bug class it exists for) next to the
+// sanctioned idioms it must stay quiet on.
+
+func TestLanedebt(t *testing.T) { runFixture(t, Lanedebt, "lanedebt") }
+
+func TestAbortcause(t *testing.T) { runFixture(t, Abortcause, "abortcause") }
+
+func TestCacheinval(t *testing.T) { runFixture(t, Cacheinval, "cacheinval") }
+
+func TestJournalstate(t *testing.T) { runFixture(t, Journalstate, "journalstate") }

@@ -1,0 +1,109 @@
+// Fixture for the cacheinval pass: a self-contained miniature of the
+// internal/core lock-word steal shapes (PR 4). A CAS that takes over an
+// existing lock word means the previous owner failed — cached images of
+// the key are stale the moment the steal lands.
+package cacheinval
+
+// Endpoint mirrors rdma.Endpoint's CAS verb (matched by name).
+type Endpoint struct{}
+
+func (ep *Endpoint) CAS(addr *uint64, old, swap uint64) (uint64, bool, error) {
+	return 0, false, nil
+}
+
+// lockWord mirrors the kvlayout lock-word constructor (matched by name).
+func lockWord(owner uint64) uint64 { return owner<<1 | 1 }
+
+type epoch struct{ n uint64 }
+
+func (e *epoch) Add(d uint64) uint64 { e.n += d; return e.n }
+
+type bitset struct{ bits uint64 }
+
+func (b *bitset) Set(i int) { b.bits |= 1 << uint(i) }
+
+type Tx struct {
+	ep         *Endpoint
+	cacheEpoch *epoch
+	failed     *bitset
+}
+
+func (tx *Tx) invalidateCached(key uint64) {}
+func (tx *Tx) crash() error                { return nil }
+
+// goodSteal is the sanctioned shape: the landed steal drops the cached
+// entry before the function returns.
+func (tx *Tx) goodSteal(addr *uint64, old, me uint64) error {
+	_, stole, err := tx.ep.CAS(addr, old, lockWord(me))
+	if err != nil {
+		return err
+	}
+	if stole {
+		tx.invalidateCached(*addr)
+	}
+	return nil
+}
+
+// goodStealEpoch discharges the obligation with an epoch bump instead.
+func (tx *Tx) goodStealEpoch(addr *uint64, old, me uint64) {
+	_, _, _ = tx.ep.CAS(addr, old, lockWord(me))
+	tx.cacheEpoch.Add(1)
+}
+
+// acquire takes a fresh lock over a free word (expect == 0): no steal,
+// no obligation.
+func (tx *Tx) acquire(addr *uint64, me uint64) error {
+	_, ok, err := tx.ep.CAS(addr, 0, lockWord(me))
+	_ = ok
+	return err
+}
+
+// release returns a lock word (swap == 0): no steal, no obligation.
+func (tx *Tx) release(addr *uint64, word uint64) error {
+	_, _, err := tx.ep.CAS(addr, word, 0)
+	return err
+}
+
+// goodFail pairs the failed-coordinator bits with the epoch bump.
+func (tx *Tx) goodFail(i int) {
+	tx.failed.Set(i)
+	tx.cacheEpoch.Add(1)
+}
+
+// stealCrash abandons the obligation on a simulated node death, which
+// recovery (and the epoch bump in the failure notification) repairs.
+func (tx *Tx) stealCrash(addr *uint64, old, me uint64) error {
+	_, _, _ = tx.ep.CAS(addr, old, lockWord(me))
+	return tx.crash()
+}
+
+// leakSteal returns with the steal landed and the cache untouched.
+func (tx *Tx) leakSteal(addr *uint64, old, me uint64) error {
+	_, stole, err := tx.ep.CAS(addr, old, lockWord(me))
+	if err != nil {
+		return err
+	}
+	if stole {
+		return nil // want "without a cache invalidation"
+	}
+	return nil
+}
+
+// blindSteal discards the swapped result: the steal may have landed, so
+// the obligation binds unconditionally.
+func (tx *Tx) blindSteal(addr *uint64, old, me uint64) {
+	_, _, _ = tx.ep.CAS(addr, old, lockWord(me))
+} // want "without a cache invalidation"
+
+// leakFail sets failure bits without stopping pre-failure cache hits.
+func (tx *Tx) leakFail(i int) {
+	tx.failed.Set(i)
+} // want "without a cache-epoch bump"
+
+// callerInvalidates: the escape hatch for invalidation proven to happen
+// at the caller.
+func (tx *Tx) callerInvalidates(addr *uint64, old, me uint64) (bool, error) {
+	_, stole, err := tx.ep.CAS(addr, old, lockWord(me))
+	//pandora:cacheinval caller invalidates on the stole=true return (fixture exercise)
+	return stole, err
+}

@@ -1,7 +1,7 @@
 // Fixture for the lockpair pass: a self-contained miniature of the
 // internal/core locking shapes. The leaky functions reproduce the
-// exact bug class PR 1 fixed by hand — a fault between the lock CAS
-// and the write-set registration leaked the lock.
+// exact bug class PR 1 fixed by hand — a path out of the function
+// between the lock CAS and the write-set registration leaked the lock.
 package core
 
 // Endpoint mirrors rdma.Endpoint's verb surface (matched by type name).
@@ -40,9 +40,12 @@ func (tx *Tx) failLocked(ent *writeEnt, err error) error {
 	return err
 }
 
+func (tx *Tx) unlockAddr(addr uint64) error { return nil }
+func (tx *Tx) crash() error                 { return nil }
+
 // goodLock is the fixed PR 1 shape: the doorbell's error path hands the
-// possibly-taken lock to failLocked, later verbs are guarded, and the
-// entry is registered before the next unguarded verb.
+// possibly-taken lock to failLocked (or proves the CAS never fired via
+// Swapped), and the entry is registered before any further exit.
 func (tx *Tx) goodLock(addr uint64, buf []byte) error {
 	ent := &writeEnt{}
 	lockOp := &Op{Swap: tx.lockWord()}
@@ -61,9 +64,9 @@ func (tx *Tx) goodLock(addr uint64, buf []byte) error {
 	return nil
 }
 
-// goodSingleCAS: a single-op CAS post may return before registration —
-// link admission precedes execution, so an errored single CAS never
-// took the lock.
+// goodSingleCAS: a single-op CAS post may return on its error — link
+// admission precedes execution, so an errored single CAS never took
+// the lock — and the swapped-false edge proves the word was not taken.
 func (tx *Tx) goodSingleCAS(addr, old uint64) error {
 	ent := &writeEnt{}
 	if _, stole, err := tx.ep.CAS(addr, old, tx.lockWord()); err != nil || !stole {
@@ -74,13 +77,47 @@ func (tx *Tx) goodSingleCAS(addr, old uint64) error {
 	return nil
 }
 
+// goodBackout releases the word instead of registering it: the
+// slot-moved back-out idiom. A failed release hands the lock over.
+func (tx *Tx) goodBackout(addr, old uint64) error {
+	ent := &writeEnt{}
+	_, stole, err := tx.ep.CAS(addr, old, tx.lockWord())
+	if err != nil {
+		return err
+	}
+	if !stole {
+		return nil
+	}
+	if err := tx.unlockAddr(addr); err != nil {
+		return tx.failLocked(ent, err)
+	}
+	return nil
+}
+
+// goodCrashExit abandons the lock on a simulated node death — the one
+// path recovery is specified to repair.
+func (tx *Tx) goodCrashExit(addr, old uint64, die bool) error {
+	ent := &writeEnt{}
+	_, stole, err := tx.ep.CAS(addr, old, tx.lockWord())
+	if err != nil || !stole {
+		return err
+	}
+	if die {
+		return tx.crash()
+	}
+	ent.locked = true
+	tx.writes = append(tx.writes, ent)
+	return nil
+}
+
 // leakyDoorbell drops the doorbell's error without consulting Swapped:
-// the CAS may have taken the lock while the READ faulted.
+// the CAS may have taken the lock while the READ faulted, and the
+// error return leaks it.
 func (tx *Tx) leakyDoorbell(buf []byte) error {
 	ent := &writeEnt{}
 	lockOp := &Op{Swap: tx.lockWord()}
 	readOp := &Op{Buf: buf}
-	if err := tx.ep.Do(lockOp, readOp); err != nil { // want "error path does not register the lock"
+	if err := tx.ep.Do(lockOp, readOp); err != nil { // want "doorbell posting a lock CAS can reach a function exit"
 		return err
 	}
 	ent.locked = true
@@ -88,19 +125,22 @@ func (tx *Tx) leakyDoorbell(buf []byte) error {
 	return nil
 }
 
-// leakyVerbBetween registers too late: an unguarded verb fires while
-// the lock is held but unknown to the write set.
-func (tx *Tx) leakyVerbBetween(addr uint64, buf []byte) error {
+// leakyErrReturn registers too late: the verb between the acquisition
+// and the registration returns its fault while the lock is held but
+// unknown to the write set.
+func (tx *Tx) leakyErrReturn(addr uint64, buf []byte) error {
 	ent := &writeEnt{}
 	lockOp := &Op{Swap: tx.lockWord()}
 	readOp := &Op{Buf: buf}
-	if err := tx.ep.Do(lockOp, readOp); err != nil {
+	if err := tx.ep.Do(lockOp, readOp); err != nil { // want "doorbell posting a lock CAS can reach a function exit"
 		if lockOp.Swapped {
 			return tx.failLocked(ent, err)
 		}
 		return err
 	}
-	_ = tx.ep.Write(addr+8, buf) // want "fabric verb fires between a lock-acquiring CAS and its write-set registration"
+	if err := tx.ep.Write(addr+8, buf); err != nil {
+		return err
+	}
 	ent.locked = true
 	tx.writes = append(tx.writes, ent)
 	return nil
@@ -108,6 +148,6 @@ func (tx *Tx) leakyVerbBetween(addr uint64, buf []byte) error {
 
 // leakyNeverRegistered takes a lock and forgets it entirely.
 func (tx *Tx) leakyNeverRegistered(addr, old uint64) error {
-	_, _, err := tx.ep.CAS(addr, old, tx.lockWord()) // want "never registered in the write set"
+	_, _, err := tx.ep.CAS(addr, old, tx.lockWord()) // want "lock-acquiring CAS can reach a function exit"
 	return err
 }

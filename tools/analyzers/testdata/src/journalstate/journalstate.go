@@ -1,0 +1,159 @@
+// Fixture for the journalstate pass: a self-contained miniature of the
+// internal/reconfig migration journal (PR 8). A journal image read back
+// from the replicated journal may only take legal state-machine steps
+// (pending → copying → cutover → done), and once mutated must be
+// persisted before the function gives up control.
+package journalstate
+
+// PartitionState mirrors reconfig.PartitionState (matched by type name).
+type PartitionState uint8
+
+const (
+	StatePending PartitionState = iota
+	StateCopying
+	StateCutover
+	StateDone
+)
+
+const (
+	phaseRunning  = 1
+	phaseComplete = 2
+)
+
+type image struct {
+	seq    uint64
+	phase  uint8
+	states []PartitionState
+}
+
+func (im *image) clone() *image {
+	out := &image{seq: im.seq, phase: im.phase}
+	out.states = append(out.states, im.states...)
+	return out
+}
+
+type Ctl struct{ n int }
+
+func (c *Ctl) freshImage() (*image, error) {
+	return &image{states: make([]PartitionState, c.n)}, nil
+}
+
+func (c *Ctl) writeJournal(im *image) error {
+	im.seq++
+	return nil
+}
+
+// goodInit is the Run idiom: a freshly built LOCAL image may carry any
+// seed states and the running phase; persistence is the step closure's
+// business.
+func (c *Ctl) goodInit(parts []int) error {
+	im := &image{phase: phaseRunning, states: make([]PartitionState, len(parts))}
+	for i := range parts {
+		im.states[i] = StateCopying
+	}
+	return c.writeJournal(im)
+}
+
+// goodStep is the advancePartition idiom: the `<` guard rules out
+// skipping or rewinding, and the store is persisted before returning.
+func (c *Ctl) goodStep(p int) error {
+	im, err := c.freshImage()
+	if err != nil {
+		return err
+	}
+	if im.states[p] < StateCopying {
+		im.states[p] = StateCopying
+	}
+	return c.writeJournal(im)
+}
+
+// goodEq advances by exactly one state under an equality guard.
+func (c *Ctl) goodEq(p int) error {
+	im, err := c.freshImage()
+	if err != nil {
+		return err
+	}
+	if im.states[p] == StateCopying {
+		im.states[p] = StateCutover
+	}
+	return c.writeJournal(im)
+}
+
+// finalize: the terminal state and the complete phase are idempotent
+// and always legal, even unguarded.
+func (c *Ctl) finalize() error {
+	im, err := c.freshImage()
+	if err != nil {
+		return err
+	}
+	im.phase = phaseComplete
+	for i := range im.states {
+		im.states[i] = StateDone
+	}
+	return c.writeJournal(im)
+}
+
+// skipState is the must-flag shape: an equality guard on an earlier
+// state persists a transition that skips StateCopying entirely — a
+// recovering coordinator replaying the journal would never copy.
+func (c *Ctl) skipState(p int) error {
+	im, err := c.freshImage()
+	if err != nil {
+		return err
+	}
+	if im.states[p] == StatePending {
+		im.states[p] = StateCutover // want "skips the state machine"
+	}
+	return c.writeJournal(im)
+}
+
+// unguarded persists a non-terminal state with no dominating guard: a
+// replay can rewind a partition that had already cut over.
+func (c *Ctl) unguarded(p int) error {
+	im, err := c.freshImage()
+	if err != nil {
+		return err
+	}
+	im.states[p] = StateCopying // want "unguarded journal state store"
+	return c.writeJournal(im)
+}
+
+// reopen flips a journaled image back to the running phase.
+func (c *Ctl) reopen() error {
+	im, err := c.freshImage()
+	if err != nil {
+		return err
+	}
+	im.phase = phaseRunning // want "re-opened with phaseRunning"
+	return c.writeJournal(im)
+}
+
+// dropped mutates the journal image and forgets to persist it.
+func (c *Ctl) dropped(p int) error {
+	im, err := c.freshImage()
+	if err != nil {
+		return err
+	}
+	if im.states[p] < StateCopying {
+		im.states[p] = StateCopying
+	}
+	return nil // want "without writeJournal"
+}
+
+// cloneLeak: a clone of a journal image is still journal state.
+func (c *Ctl) cloneLeak(src *image) error {
+	im := src.clone()
+	im.phase = phaseComplete
+	return nil // want "without writeJournal"
+}
+
+// deferredPersist: the escape hatch for persistence proven out-of-band.
+func (c *Ctl) deferredPersist(p int) error {
+	im, err := c.freshImage()
+	if err != nil {
+		return err
+	}
+	im.states[p] = StateDone
+	//pandora:journalstate persisted by the caller's batched write (fixture exercise)
+	return nil
+}

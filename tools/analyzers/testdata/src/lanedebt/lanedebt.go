@@ -1,0 +1,172 @@
+// Fixture for the lanedebt pass: a self-contained miniature of the
+// internal/core hot-lock ticket-lane shapes (DESIGN.md §14). The leaky
+// functions reproduce the PR 9 bug class — a tail FAA whose head
+// advance is lost on some path wedges every waiter behind it.
+package lanedebt
+
+// Endpoint mirrors rdma.Endpoint's atomic verbs (matched by name).
+type Endpoint struct{}
+
+func (ep *Endpoint) FAA(addr *uint64, delta uint64) (uint64, error) { return 0, nil }
+func (ep *Endpoint) CAS(addr *uint64, old, swap uint64) (uint64, bool, error) {
+	return 0, false, nil
+}
+
+// Lane mirrors hotlock.Lane: the doorbell pair.
+type Lane struct {
+	Head uint64
+	Tail uint64
+}
+
+type queueState struct {
+	lane        Lane
+	ticket      uint64
+	joined      bool
+	transferred bool
+}
+
+type writeEnt struct {
+	queued    bool
+	queueHead uint64
+}
+
+type Coord struct{ ep *Endpoint }
+
+func (co *Coord) crash() error { return nil }
+
+// queueJoin is the primitive joiner: it takes the ticket and publishes
+// the debt into the caller's queue state (summarized as a joiner).
+func (co *Coord) queueJoin(q *queueState) error {
+	t, err := co.ep.FAA(&q.lane.Tail, 1)
+	if err != nil {
+		return err
+	}
+	q.ticket = t
+	q.joined = true
+	return nil
+}
+
+// payLaneDebt is the primitive settler: one head advance (summarized
+// as a settler).
+func (co *Coord) payLaneDebt(lane *Lane) {
+	_, _ = co.ep.FAA(&lane.Head, 1)
+}
+
+// unlockAll is the package-level release of transferred debt: it is
+// what makes `.transferred = true` legal at all.
+func (co *Coord) unlockAll(writes []*writeEnt) {
+	for _, w := range writes {
+		if w.queued {
+			_, _ = co.ep.FAA(&w.queueHead, 1)
+		}
+	}
+}
+
+// goodSettle pays its own debt before returning.
+func (co *Coord) goodSettle(q *queueState) error {
+	if err := co.queueJoin(q); err != nil {
+		return err
+	}
+	co.payLaneDebt(&q.lane)
+	return nil
+}
+
+// goodDefer is the stageLockedWrite idiom: a gated defer covers every
+// exit after the join.
+func (co *Coord) goodDefer(q *queueState, busy bool) error {
+	defer func() {
+		if q.joined && !q.transferred {
+			co.payLaneDebt(&q.lane)
+		}
+	}()
+	if err := co.queueJoin(q); err != nil {
+		return err
+	}
+	if busy {
+		return nil
+	}
+	return nil
+}
+
+// goodTransfer hands the debt to the write entry; unlockAll's queueHead
+// FAA settles it at commit/abort.
+func (co *Coord) goodTransfer(q *queueState, w *writeEnt) error {
+	if err := co.queueJoin(q); err != nil {
+		return err
+	}
+	w.queued = true
+	w.queueHead = q.lane.Head
+	q.transferred = true
+	return nil
+}
+
+// goodCrash abandons the ticket on a simulated node death — the one
+// path recovery is specified to repair.
+func (co *Coord) goodCrash(q *queueState, die bool) error {
+	if err := co.queueJoin(q); err != nil {
+		return err
+	}
+	if die {
+		return co.crash()
+	}
+	co.payLaneDebt(&q.lane)
+	return nil
+}
+
+// leakReturn forgets the head advance entirely.
+func (co *Coord) leakReturn(q *queueState) error {
+	if err := co.queueJoin(q); err != nil {
+		return err
+	}
+	return nil // want "ticket-lane debt of q is unsettled"
+}
+
+// leakRaw is the same leak through the raw verb rather than the helper.
+func (co *Coord) leakRaw(q *queueState) error {
+	_, err := co.ep.FAA(&q.lane.Tail, 1)
+	if err != nil {
+		return err
+	}
+	return nil // want "ticket-lane debt of q is unsettled"
+}
+
+// leakZero is the exact PR 9 leak shape, in the local-variable form the
+// real stageLockedWrite uses: the mismatch path re-queues by zeroing
+// the queue state while the ticket is outstanding. The gated defer
+// reads q.joined and pays nothing — deleting the settle before the
+// zeroing wedges the lane.
+func (co *Coord) leakZero(retry bool) error {
+	q := queueState{}
+	defer func() {
+		if q.joined && !q.transferred {
+			co.payLaneDebt(&q.lane)
+		}
+	}()
+	if err := co.queueJoin(&q); err != nil {
+		return err
+	}
+	if retry {
+		q = queueState{} // want "zeroed while its ticket-lane debt is outstanding"
+	}
+	return nil
+}
+
+// leakDespiteRepair: a guarded head CAS repairs OTHER participants'
+// debt (queueWait's fallback race) and must not clear this function's
+// own ticket.
+func (co *Coord) leakDespiteRepair(q *queueState, head uint64) error {
+	if err := co.queueJoin(q); err != nil {
+		return err
+	}
+	_, _, _ = co.ep.CAS(&q.lane.Head, head, head+1)
+	return nil // want "ticket-lane debt of q is unsettled"
+}
+
+// allowedLeak: the escape hatch for debt proven settled out-of-band.
+func (co *Coord) allowedLeak(q *queueState) error {
+	if err := co.queueJoin(q); err != nil {
+		return err
+	}
+	//pandora:lanedebt settled by the caller's reaper (fixture exercise of the directive)
+	return nil
+}

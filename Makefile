@@ -44,6 +44,11 @@ bench-smoke:
 	# is sequential on a virtual clock, so the JSON is seed-deterministic).
 	$(GO) run ./cmd/pandora-bench -experiment hotlock -quick -json $(BIN)/BENCH_hotlock.gen.json
 	cmp $(BIN)/BENCH_hotlock.gen.json $(BIN)/BENCH_hotlock.json
+	# Commit-tail lane: the pipelined commit tail experiment (legacy vs
+	# fused vs async rounds-per-commit and ack latency) is sequential on a
+	# virtual clock; its artifact must match bin/BENCH_commitpipe.json.
+	$(GO) run ./cmd/pandora-bench -experiment commitpipe -quick -json $(BIN)/BENCH_commitpipe.gen.json
+	cmp $(BIN)/BENCH_commitpipe.gen.json $(BIN)/BENCH_commitpipe.json
 
 chaos-smoke:
 	$(GO) test -race -short ./internal/chaos/
@@ -73,6 +78,19 @@ chaos-smoke:
 	    $(GO) run ./cmd/pandora-chaos -scenario hotlock -crash $$crash -seed $$seed \
 	      >$(BIN)/h-b.log || exit 1; \
 	    cmp $(BIN)/h-a.log $(BIN)/h-b.log || exit 1; \
+	  done; \
+	done
+	# Commit-pipe lane: 3 seeds × {afterack, middrain, drainfail} crashes
+	# of the async commit-back tail, each run twice and byte-compared,
+	# with a double recovery pass (the second must be a no-op) inside
+	# every run.
+	for crash in afterack middrain drainfail; do \
+	  for seed in 1 7 42; do \
+	    $(GO) run ./cmd/pandora-chaos -scenario commitpipe -crash $$crash -seed $$seed \
+	      >$(BIN)/c-a.log || exit 1; \
+	    $(GO) run ./cmd/pandora-chaos -scenario commitpipe -crash $$crash -seed $$seed \
+	      >$(BIN)/c-b.log || exit 1; \
+	    cmp $(BIN)/c-a.log $(BIN)/c-b.log || exit 1; \
 	  done; \
 	done
 

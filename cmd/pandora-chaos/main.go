@@ -12,6 +12,9 @@
 //	pandora-chaos -scenario hotlock -crash waiter
 //	                                     # adaptive ticket lanes: crash a
 //	                                     # parked waiter, repair the lane
+//	pandora-chaos -scenario commitpipe -crash middrain
+//	                                     # async commit-back: die between
+//	                                     # truncation and unlock, recover
 //
 // The deterministic event log goes to stdout: two runs with the same
 // flags (escalation off) are byte-identical, which is how a chaos
@@ -32,8 +35,8 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 42, "seed driving the fault schedule and workload")
-	scenario := flag.String("scenario", "mixed", "fault palette: "+strings.Join(chaos.Scenarios(), ", ")+", reconfig, hotlock")
-	crash := flag.String("crash", "coordinator", "reconfig: what dies mid-migration ("+strings.Join(chaos.ReconfigModes(), ", ")+"); hotlock: which lane participant dies ("+strings.Join(chaos.HotlockModes(), ", ")+")")
+	scenario := flag.String("scenario", "mixed", "fault palette: "+strings.Join(chaos.Scenarios(), ", ")+", reconfig, hotlock, commitpipe")
+	crash := flag.String("crash", "coordinator", "reconfig: what dies mid-migration ("+strings.Join(chaos.ReconfigModes(), ", ")+"); hotlock: which lane participant dies ("+strings.Join(chaos.HotlockModes(), ", ")+"); commitpipe: where the post-ack tail dies ("+strings.Join(chaos.CommitPipeModes(), ", ")+")")
 	workload := flag.String("workload", "counter", "workload: counter, bank")
 	events := flag.Int("events", 12, "number of seed-drawn fault events")
 	gap := flag.Duration("gap", 2*time.Millisecond, "wall-clock spacing between events")
@@ -72,6 +75,10 @@ func main() {
 		// Fully scripted: a promoted ticket lane loses its holder or a
 		// parked waiter at a seeded poll step and must be repaired.
 		res, err = chaos.RunHotlock(cfg, *crash)
+	} else if *scenario == "commitpipe" {
+		// Fully scripted: an acknowledged commit's post-ack tail dies at
+		// a chosen pipeline point; recovery (run twice) must heal it.
+		res, err = chaos.RunCommitPipe(cfg, *crash)
 	} else {
 		res, err = chaos.Run(cfg)
 	}

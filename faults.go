@@ -110,14 +110,16 @@ func (c *Cluster) RestartCompute(i int) error {
 		return err
 	}
 	opts := core.Options{
-		Protocol:        c.cfg.Protocol,
-		Bugs:            c.cfg.SeedBugs,
-		DisablePILL:     c.cfg.DisablePILL,
-		StallOnConflict: c.cfg.StallOnConflict,
-		Persist:         c.cfg.Persistence,
-		VerbTimeout:     c.cfg.VerbTimeout,
-		ReadCacheSize:   c.cfg.ReadCacheSize,
-		Metrics:         c.met,
+		Protocol:         c.cfg.Protocol,
+		Bugs:             c.cfg.SeedBugs,
+		DisablePILL:      c.cfg.DisablePILL,
+		StallOnConflict:  c.cfg.StallOnConflict,
+		Persist:          c.cfg.Persistence,
+		VerbTimeout:      c.cfg.VerbTimeout,
+		ReadCacheSize:    c.cfg.ReadCacheSize,
+		HotlockThreshold: c.cfg.HotlockThreshold,
+		AsyncCommitBack:  c.cfg.AsyncCommitBack,
+		Metrics:          c.met,
 	}
 	ring := c.mgr.Ring()
 	cn := core.NewComputeNode(c.fab, nodeID, ring, c.schema, ids, opts)

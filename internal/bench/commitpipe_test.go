@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCommitPipeRounds runs the experiment at CI scale and pins the
+// acceptance bar: the legacy per-phase tail spends at least five
+// post-validation doorbells per commit, the fused synchronous tail at
+// most three, the asynchronous tail at most two — and the async ack
+// p50 beats the legacy baseline by at least 1.5×.
+func TestCommitPipeRounds(t *testing.T) {
+	r, err := CommitPipe(Quick(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.Legacy.RoundsPerCommit < 5 {
+		t.Errorf("legacy tail %.1f rounds/commit, want >= 5", r.Legacy.RoundsPerCommit)
+	}
+	if r.Fused.RoundsPerCommit > 3 {
+		t.Errorf("fused tail %.1f rounds/commit, want <= 3", r.Fused.RoundsPerCommit)
+	}
+	if r.Async.RoundsPerCommit > 2 {
+		t.Errorf("async tail %.1f rounds/commit, want <= 2", r.Async.RoundsPerCommit)
+	}
+	if r.AckSpeedupP50 < 1.5 {
+		t.Errorf("async ack p50 speedup %.2f×, want >= 1.5×", r.AckSpeedupP50)
+	}
+	if r.Async.DrainFailures != 0 {
+		t.Errorf("async pass recorded %d drain failures, want 0", r.Async.DrainFailures)
+	}
+	if r.Async.DrainFlushed != r.Async.DrainEnqueued || r.Async.DrainEnqueued == 0 {
+		t.Errorf("drain enqueued %d / flushed %d, want equal and nonzero",
+			r.Async.DrainEnqueued, r.Async.DrainFlushed)
+	}
+	// The synchronous passes must never touch the drain: the knob
+	// controls only asynchrony, the fusion is unconditional.
+	if r.Legacy.DrainEnqueued != 0 || r.Fused.DrainEnqueued != 0 {
+		t.Errorf("synchronous passes enqueued drains (legacy %d, fused %d), want 0",
+			r.Legacy.DrainEnqueued, r.Fused.DrainEnqueued)
+	}
+}
+
+// TestCommitPipeDeterministic pins the artifact contract: two runs at
+// the same scale render byte-identical JSON (CI cmp's the checked-in
+// bin/BENCH_commitpipe.json).
+func TestCommitPipeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full passes")
+	}
+	a, err := CommitPipe(Quick(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CommitPipe(Quick(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Error("BENCH_commitpipe.json is not run-to-run deterministic")
+	}
+}

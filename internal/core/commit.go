@@ -30,7 +30,7 @@ const cleanupMaxAttempts = 10000
 // node is reported to the FD once. Memory faults are tolerated (dead
 // replicas are recovery's job); ErrCrashed / ErrRevoked propagate
 // immediately; exhausting the budget returns ErrIndeterminate.
-func (tx *Tx) doCleanup(ops []*rdma.Op) error {
+func (co *Coordinator) doCleanup(ops []*rdma.Op) error {
 	backoff := 50 * time.Microsecond
 	const maxBackoff = 2 * time.Millisecond
 	reported := make(map[rdma.NodeID]bool)
@@ -48,7 +48,7 @@ func (tx *Tx) doCleanup(ops []*rdma.Op) error {
 		for _, op := range pending {
 			op.Err = nil
 		}
-		_ = tx.co.ep.Do(pending...)
+		_ = co.ep.Do(pending...)
 		var retry []*rdma.Op
 		for _, op := range pending {
 			switch {
@@ -65,7 +65,7 @@ func (tx *Tx) doCleanup(ops []*rdma.Op) error {
 				}
 				if !reported[le.Dst] {
 					reported[le.Dst] = true
-					tx.cn.reportSuspect(le.Dst)
+					co.node.reportSuspect(le.Dst)
 				}
 				retry = append(retry, op)
 			}
@@ -74,6 +74,16 @@ func (tx *Tx) doCleanup(ops []*rdma.Op) error {
 	}
 	return nil
 }
+
+// doCleanup runs the coordinator cleanup discipline for this
+// transaction's ops.
+func (tx *Tx) doCleanup(ops []*rdma.Op) error { return tx.co.doCleanup(ops) }
+
+// countCommitRound counts one post-validation critical-path doorbell
+// round (the commitpipe experiment's per-commit round metric). Only
+// batch-posting paths count; injected (verb-at-a-time) runs are not
+// comparable round-wise and are not benchmarked.
+func (tx *Tx) countCommitRound() { tx.cn.opts.Metrics.CountCommitRound() }
 
 // postAckFailure handles a failure after the client has been
 // acknowledged: per Cor3 the commit must never be rolled back, so the
@@ -192,9 +202,12 @@ func (tx *Tx) Commit() error {
 		return tx.crash()
 	}
 
-	if tx.cn.opts.Persist {
+	injected := tx.cn.getInjector() != nil
+	if tx.cn.opts.Persist && (injected || tx.cn.opts.UnfusedCommitTail) {
 		// §7: the applied data must be durable before the client is
-		// acknowledged.
+		// acknowledged. The fused path chained these flushes into the
+		// apply doorbell inside applyWrites; only the unfused baseline
+		// and injected (verb-at-a-time) runs spend a separate round.
 		if err := tx.flushApplied(); err != nil {
 			return err
 		}
@@ -216,6 +229,7 @@ func (tx *Tx) Commit() error {
 
 	// Commit step 2: client acknowledgement.
 	tx.AckedCommit = true
+	ackAt := tx.phaseClock()
 	if tx.cn.crashAt(tx.co.id, PointAfterAck) {
 		return tx.crash()
 	}
@@ -227,39 +241,84 @@ func (tx *Tx) Commit() error {
 	// truncation leaves only lock words, which PILL stealing cleans up
 	// against a fully consistent memory image. The client has already
 	// been acknowledged, so failures here must NOT abort (Cor3): they
-	// route to postAckFailure, leaving cleanup to recovery.
-	if tx.logged {
-		if err := tx.truncateLogs(); err != nil {
+	// route to postAckFailure (or the drain's abandon path), leaving
+	// cleanup to recovery.
+	if tx.cn.opts.AsyncCommitBack {
+		// Asynchronous commit-back (DESIGN.md §16): the tail moves off
+		// the critical path entirely. The cache write-through runs now —
+		// the rcache is owned by this coordinator's goroutine and the
+		// drain may flush on another — which is safe pre-release: the
+		// applied slots already carry the new images and OCC validation
+		// re-checks versions on every use.
+		tx.writeThroughCache()
+		tx.handoffTail(ackAt)
+		tx.recordPhase(metrics.PhaseCommitBack, commitBackStart)
+		tx.release()
+		return nil
+	}
+	if injected || tx.cn.opts.UnfusedCommitTail {
+		// Baseline tail: truncation round, then release round.
+		if tx.logged {
+			if err := tx.truncateLogs(); err != nil {
+				return tx.postAckFailure(err)
+			}
+			tx.countCommitRound()
+		}
+		if tx.cn.crashAt(tx.co.id, PointAfterTruncate) {
+			return tx.crash()
+		}
+		if err := tx.unlockAll(false); err != nil {
 			return tx.postAckFailure(err)
 		}
-	}
-	if tx.cn.crashAt(tx.co.id, PointAfterTruncate) {
-		return tx.crash()
-	}
-	if err := tx.unlockAll(false); err != nil {
-		return tx.postAckFailure(err)
+		tx.countCommitRound()
+	} else {
+		// Fused tail: truncate + release in one doorbell. Truncations are
+		// posted ahead of the releases, so on a shared node RC ordering
+		// runs them first; across nodes the cleanup discipline completes
+		// everything before Commit returns, and a crash mid-doorbell
+		// leaves at worst a valid log plus released locks — recovery's
+		// rollback is version-checked and lock-CAS-guarded, so the state
+		// resolves exactly like the states the unfused tail can leave
+		// (DESIGN.md §16).
+		b := rdma.GetBatch()
+		defer b.Put()
+		if tx.logged {
+			tx.appendTruncateOps(b)
+		}
+		tx.appendReleaseOps(b, false)
+		if b.Len() > 0 {
+			if err := tx.doCleanup(b.Ops()); err != nil {
+				return tx.postAckFailure(err)
+			}
+			tx.countCommitRound()
+		}
+		tx.logged = false
 	}
 	tx.recordPhase(metrics.PhaseCommitBack, commitBackStart)
 	if tx.cn.crashAt(tx.co.id, PointAfterUnlock) {
 		return tx.crash()
 	}
-
-	// Write-through: the commit is acknowledged and fully unlocked, so
-	// the new images are the freshest possible cache content. Deletes
-	// drop the entry instead (a tombstoned slot must read as absent).
-	if rc := tx.co.rcache; rc != nil {
-		epoch := tx.cn.cacheEpoch.Load()
-		for _, w := range tx.writes {
-			if w.kind == kvlayout.WriteDelete {
-				rc.Invalidate(w.ref.table, w.ref.key)
-			} else {
-				rc.Put(w.ref.table, w.ref.key, w.ref.partition, w.ref.slot, w.newVersion, w.newValue, epoch)
-			}
-		}
-	}
-
+	tx.writeThroughCache()
 	tx.release()
 	return nil
+}
+
+// writeThroughCache installs the committed images in the validated read
+// cache: the freshest possible content for every written key. Deletes
+// drop the entry instead (a tombstoned slot must read as absent).
+func (tx *Tx) writeThroughCache() {
+	rc := tx.co.rcache
+	if rc == nil {
+		return
+	}
+	epoch := tx.cn.cacheEpoch.Load()
+	for _, w := range tx.writes {
+		if w.kind == kvlayout.WriteDelete {
+			rc.Invalidate(w.ref.table, w.ref.key)
+		} else {
+			rc.Put(w.ref.table, w.ref.key, w.ref.partition, w.ref.slot, w.newVersion, w.newValue, epoch)
+		}
+	}
 }
 
 // validate re-reads every read-set object's lock and version in a single
@@ -425,7 +484,17 @@ func (tx *Tx) applyWrites() error {
 	if injected {
 		return nil
 	}
+	// Fused apply+flush (§16): under Persist the durability flushes ride
+	// the same doorbell behind the replica writes — RC per-pair ordering
+	// makes each flush observe its write — collapsing the apply round and
+	// the flush round into one.
+	fused := tx.cn.opts.Persist && !tx.cn.opts.UnfusedCommitTail
+	wn := b.Len()
+	if fused {
+		b.ChainFlushes(0)
+	}
 	err := tx.co.ep.Do(b.Ops()...)
+	tx.countCommitRound()
 	if err != nil && errors.Is(err, rdma.ErrCrashed) {
 		return tx.crash()
 	}
@@ -455,19 +524,30 @@ func (tx *Tx) applyWrites() error {
 		// back the replicas that WERE applied.
 		return tx.verbFailure(fatal)
 	}
+	if fused {
+		// Flush results: the client must not be acked before the applied
+		// data is durable, and the ack has not happened yet, so a failed
+		// flush is a clean pre-ack abort (the abort path rolls the applied
+		// replicas back).
+		for _, op := range b.Ops()[wn:] {
+			if op.Err != nil && !isMemFault(op.Err) {
+				return tx.verbFailure(op.Err)
+			}
+		}
+	}
 	return nil
 }
 
-// unlockAll releases this transaction's primary locks with 8-byte
-// WRITEs of zero. In the abort path (abortPath=true) an insert's empty
-// slot is tombstoned first so probe chains that grew past it while it
-// was locked stay intact. With the ComplicitAbort bug seeded, the abort
-// path blindly releases every write-set lock — including ones this
-// transaction never acquired.
-func (tx *Tx) unlockAll(abortPath bool) error {
-	injected := tx.cn.getInjector() != nil
-	b := rdma.GetBatch()
-	defer b.Put()
+// appendReleaseOps appends this transaction's lock-release ops to b:
+// 8-byte WRITEs of zero over the primary lock words. In the abort path
+// (abortPath=true) an insert's empty slot is tombstoned first so probe
+// chains that grew past it while it was locked stay intact. With the
+// ComplicitAbort bug seeded, the abort path blindly releases every
+// write-set lock — including ones this transaction never acquired.
+// Every caller — the fused and unfused commit tails, the abort path,
+// and the async drain hand-off — releases through here, so the
+// release-side invariants live in one place.
+func (tx *Tx) appendReleaseOps(b *rdma.OpBatch, abortPath bool) {
 	zero := b.Bytes(8)
 	tomb := b.Bytes(8)
 	kvlayout.PutUint64(tomb, kvlayout.TombstoneKeyField)
@@ -493,6 +573,16 @@ func (tx *Tx) unlockAll(abortPath bool) error {
 			b.AddFAA(w.queueHead, 1)
 		}
 	}
+}
+
+// unlockAll releases this transaction's primary locks in one round
+// (appendReleaseOps builds the ops; see there for the release-side
+// rules).
+func (tx *Tx) unlockAll(abortPath bool) error {
+	injected := tx.cn.getInjector() != nil
+	b := rdma.GetBatch()
+	defer b.Put()
+	tx.appendReleaseOps(b, abortPath)
 	if b.Len() == 0 {
 		return nil
 	}
@@ -553,21 +643,45 @@ func (tx *Tx) abortInternal(kind metrics.AbortReason, reason string) error {
 		tx.invalidateCached(w.ref.table, w.ref.key)
 	}
 	if b.Len() > 0 {
+		// The restored pre-images must land before any lock releases: a
+		// post-release locker reads the slot immediately. The rollback
+		// round therefore completes here, ahead of the fused tail below.
 		if err := tx.doCleanup(b.Ops()); err != nil {
 			return err
 		}
 	}
 
 	// Log the decision by truncating (skipped when the Lost Decision bug
-	// is seeded: FORD leaves logs of aborted transactions behind).
-	if tx.logged && !(tx.cn.opts.Protocol == ProtocolFORD && tx.cn.opts.Bugs.LostDecision) {
-		if err := tx.truncateLogs(); err != nil {
+	// is seeded: FORD leaves logs of aborted transactions behind), then
+	// release the locks. The same per-node truncate+release doorbell
+	// fusion as the commit tail applies — the knob only controls
+	// asynchrony, not fusion — while injected runs keep the per-phase
+	// shape so scripted crashes land between the steps.
+	keepLog := tx.cn.opts.Protocol == ProtocolFORD && tx.cn.opts.Bugs.LostDecision
+	if tx.cn.getInjector() != nil || tx.cn.opts.UnfusedCommitTail {
+		if tx.logged && !keepLog {
+			if err := tx.truncateLogs(); err != nil {
+				return err
+			}
+		}
+		if err := tx.unlockAll(true); err != nil {
 			return err
 		}
-	}
-
-	if err := tx.unlockAll(true); err != nil {
-		return err
+	} else {
+		tb := rdma.GetBatch()
+		defer tb.Put()
+		if tx.logged && !keepLog {
+			tx.appendTruncateOps(tb)
+		}
+		tx.appendReleaseOps(tb, true)
+		if tb.Len() > 0 {
+			if err := tx.doCleanup(tb.Ops()); err != nil {
+				return err
+			}
+		}
+		if !keepLog {
+			tx.logged = false
+		}
 	}
 	tx.AckedAbort = true
 	return &abortError{kind: kind, reason: reason}

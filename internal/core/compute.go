@@ -32,6 +32,12 @@ const (
 	PointAfterAck
 	PointAfterUnlock
 	PointAfterTruncate
+	// PointDrainStart fires when a drained commit tail begins its
+	// truncate+release doorbell — the "crash mid-drain, before anything
+	// was cleaned" window of the async commit-back pipeline (DESIGN.md
+	// §16). Appended at the end: the point values are part of the chaos
+	// CLI surface.
+	PointDrainStart
 )
 
 // CrashInjector decides whether the node crashes at a protocol point.
@@ -186,6 +192,29 @@ func (cn *ComputeNode) SetLocalWork(fn func()) {
 // only while the node is quiescent.
 func (cn *ComputeNode) SetPersist(on bool) {
 	cn.opts.Persist = on
+}
+
+// SetAsyncCommitBack toggles the asynchronous post-ack commit tail
+// (Options.AsyncCommitBack). Call only while the node is quiescent;
+// turning it off does not flush queued tails — pair with FlushDrains.
+func (cn *ComputeNode) SetAsyncCommitBack(on bool) {
+	cn.opts.AsyncCommitBack = on
+}
+
+// SetUnfusedTail toggles the pre-fusion per-phase commit tail
+// (Options.UnfusedCommitTail), the commitpipe experiment's baseline.
+// Call only while the node is quiescent.
+func (cn *ComputeNode) SetUnfusedTail(on bool) {
+	cn.opts.UnfusedCommitTail = on
+}
+
+// FlushDrains synchronously drains every coordinator's pending post-ack
+// commit tails. Callers that need a fully unlocked, truncated memory
+// image (consistency audits, mode switches, shutdown) run this first.
+func (cn *ComputeNode) FlushDrains() {
+	for _, co := range cn.coords {
+		co.flushDrain()
+	}
 }
 
 // SetInjector installs a crash injector (nil removes it). With an
@@ -371,8 +400,13 @@ func (cn *ComputeNode) InstallFinalView(r *place.Ring) {
 }
 
 // Pause stops the world on this node: it waits for in-flight
-// transactions to finish and blocks new ones until Resume.
-func (cn *ComputeNode) Pause() { cn.pause.Lock() }
+// transactions to finish and blocks new ones until Resume. Pending
+// post-ack drain tails flush under the pause — reconfiguration (and any
+// other pause-holder) must observe a fully unlocked memory image.
+func (cn *ComputeNode) Pause() {
+	cn.pause.Lock()
+	cn.FlushDrains()
+}
 
 // Resume lifts a Pause.
 func (cn *ComputeNode) Resume() { cn.pause.Unlock() }
@@ -460,6 +494,9 @@ type Coordinator struct {
 	// coordinator promotes from its own conflict history, so seeded runs
 	// stay deterministic regardless of coordinator interleaving.
 	hot *hotlock.Tracker
+	// drain queues acked-but-unreleased commit tails when asynchronous
+	// commit-back is on (DESIGN.md §16).
+	drain drainQueue
 }
 
 // ID returns the coordinator's unique coordinator-id.

@@ -70,18 +70,47 @@ func (tx *Tx) writePandoraLog() error {
 	} else {
 		b := rdma.GetBatch()
 		defer b.Put()
-		for _, n := range tx.logServers() {
+		servers := tx.logServers()
+		for _, n := range servers {
 			b.AddWrite(rdma.Addr{Node: n, Region: region, Offset: off}, payload)
 		}
-		if err := tx.co.ep.Do(b.Ops()...); err != nil && !isMemFault(err) {
+		// Fused log+flush (§16): under Persist the durability flushes ride
+		// the same doorbell behind the log writes (RC ordering runs each
+		// flush after its write), collapsing the log round and the
+		// write-ahead flush round into one. The write-ahead rule holds:
+		// nothing is applied until this doorbell — flushes included — has
+		// completed.
+		fused := tx.cn.opts.Persist && !tx.cn.opts.UnfusedCommitTail
+		if fused {
+			b.ChainFlushes(0)
+		}
+		err := tx.co.ep.Do(b.Ops()...)
+		tx.countCommitRound()
+		if err != nil && !isMemFault(err) && !fused {
 			return tx.verbFailure(err)
 		}
-		for _, op := range b.Ops() {
+		for _, op := range b.Ops()[:len(servers)] {
 			if op.Err == nil {
 				written++
 			} else if !isMemFault(op.Err) {
 				return tx.verbFailure(op.Err)
 			}
+		}
+		if fused {
+			if written == 0 {
+				return tx.abort(metrics.AbortFault, "logging: every log server unreachable")
+			}
+			// The record reached `written` servers: mark logged BEFORE
+			// walking the flush results, so a flush failure aborts WITH
+			// truncation — a valid log left behind an acked abort would be
+			// rolled forward by recovery.
+			tx.logged = true
+			for _, op := range b.Ops()[len(servers):] {
+				if op.Err != nil && !isMemFault(op.Err) {
+					return tx.verbFailure(op.Err)
+				}
+			}
+			return nil
 		}
 	}
 	if written == 0 {
@@ -90,7 +119,8 @@ func (tx *Tx) writePandoraLog() error {
 	tx.logged = true
 	if tx.cn.opts.Persist {
 		// Write-ahead rule for NVM: the log must be durable before any
-		// data is applied (§7, selective one-sided flush).
+		// data is applied (§7, selective one-sided flush). Separate round:
+		// only the unfused baseline and injected runs reach here.
 		fb := rdma.GetBatch()
 		defer fb.Put()
 		for _, n := range tx.logServers() {
@@ -98,6 +128,9 @@ func (tx *Tx) writePandoraLog() error {
 		}
 		if err := tx.co.ep.Do(fb.Ops()...); err != nil && !isMemFault(err) {
 			return tx.verbFailure(err)
+		}
+		if tx.cn.getInjector() == nil {
+			tx.countCommitRound()
 		}
 	}
 	return nil
@@ -121,6 +154,7 @@ func (tx *Tx) flushApplied() error {
 	if err := tx.co.ep.Do(b.Ops()...); err != nil && !isMemFault(err) {
 		return tx.verbFailure(err)
 	}
+	tx.countCommitRound()
 	return nil
 }
 
@@ -195,13 +229,7 @@ func (tx *Tx) fordLogObject(ent *writeEnt) error {
 		// The flushes join the same batch behind the writes; only the
 		// slice past wn is posted.
 		wn := b.Len()
-		for i := 0; i < wn; i++ {
-			op := b.Op(i)
-			if op.Err != nil {
-				continue
-			}
-			b.AddFlush(op.Addr, len(payload))
-		}
+		b.ChainFlushes(0)
 		if err := tx.co.ep.Do(b.Ops()[wn:]...); err != nil && !isMemFault(err) {
 			return tx.verbFailure(err)
 		}

@@ -53,6 +53,31 @@ func (tx *Tx) queueJoin(q *queueState, primary rdma.NodeID, ref objRef) error {
 	return nil
 }
 
+// queueSpec arms a speculative ticket FAA riding the same doorbell as
+// the lock CAS (DESIGN.md §16): a promoted key's waiter takes its lane
+// ticket in the doorbell that discovers the conflict, folding the
+// separate queueJoin round into the failed CAS. The op is armed in
+// place; the caller absorbs the result via queueAbsorb.
+func (tx *Tx) queueSpec(op *rdma.Op, primary rdma.NodeID, ref objRef) hotlock.Lane {
+	lane := hotlock.LaneFor(primary, ref.partition, ref.table, ref.key)
+	*op = rdma.Op{Kind: rdma.OpFAA, Addr: lane.Tail, Delta: 1}
+	return lane
+}
+
+// queueAbsorb converts a speculative ticket FAA's result into queue
+// state. Must run before any error handling for the doorbell it rode:
+// once the FAA executed, the lane is owed a head advance whichever path
+// the caller takes (the lane-debt defer settles unconverted tickets). A
+// faulted FAA took no ticket and absorbs to nothing.
+func (tx *Tx) queueAbsorb(q *queueState, lane hotlock.Lane, op *rdma.Op) {
+	if op.Err != nil {
+		return
+	}
+	q.lane = lane
+	q.joined = true
+	q.ticket = op.Old
+}
+
 // queueWait polls the lane until the waiter's turn has arrived and the
 // lock word reads free (or stray — the caller's CAS/steal handles
 // ownership). Returns nil when a lock CAS retry is worthwhile. The

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"pandora/internal/hotlock"
 	"pandora/internal/kvlayout"
 	"pandora/internal/metrics"
 	"pandora/internal/rdma"
@@ -76,6 +77,12 @@ type Tx struct {
 func (co *Coordinator) Begin() *Tx {
 	cn := co.node
 	cn.pause.RLock()
+	// Flush the previous transaction's post-ack drain tail before a new
+	// one starts: a coordinator runs one transaction at a time, so this
+	// is the deterministic steady-state flush point of the async
+	// commit-back pipeline (DESIGN.md §16) — and a transaction never
+	// contends with its own coordinator's undrained locks.
+	co.flushDrain()
 	co.txCounter++
 	return &Tx{
 		co:  co,
@@ -304,6 +311,11 @@ func (tx *Tx) readSlotConsistent(ref objRef) (kvlayout.Slot, objRef, error) {
 				// as no lock at all (§3.1.2).
 				return slot, ref, nil
 			}
+			if tx.drainWait(slot.Lock) {
+				// The holder was an acked commit whose release was still
+				// queued on a same-node drain; it has flushed — re-read.
+				continue
+			}
 			if tx.mayStall() {
 				if err := tx.stallWait(); err != nil {
 					return kvlayout.Slot{}, ref, err
@@ -480,6 +492,9 @@ func (tx *Tx) Insert(table kvlayout.TableID, key kvlayout.Key, value []byte) err
 			// via PILL stealing; otherwise it is an ordinary lock
 			// conflict.
 			if !tx.strayLock(res.claimedLock) {
+				if tx.drainWait(res.claimedLock) {
+					continue // the claimant's drained release freed the slot; re-probe
+				}
 				return tx.abort(metrics.AbortSteal,
 					fmt.Sprintf("insert of %d/%d conflicts with in-flight claim by coordinator %d",
 						table, key, kvlayout.LockOwner(res.claimedLock)))
@@ -573,6 +588,7 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 	buf := b.Bytes(int(tab.SlotSize()))
 	lockOp := b.Add()
 	readOp := b.Add()
+	specOp := b.Add()
 	mismatches := 0
 	// Ticket-lane state for the queued (promoted hot key) path. Every
 	// taken ticket owes the lane one head advance: if the acquisition
@@ -601,16 +617,41 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 			Swap:   tx.lockWord(),
 		}
 		*readOp = rdma.Op{Kind: rdma.OpRead, Addr: cn.tableAddr(primary, ref, 0), Buf: buf}
+		// Speculative ticket (DESIGN.md §14/§16): when the key is already
+		// promoted to queued acquisition, the lane-tail FAA rides the same
+		// doorbell as the lock CAS — a failed CAS then already holds its
+		// ticket and goes straight to the lane wait, saving the separate
+		// queueJoin round trip. An unneeded ticket (the CAS won, or an
+		// error path bails out) is settled by the release path or the
+		// lane-debt defer above, so the lane never wedges.
+		spec := false
+		var specLane hotlock.Lane
+		if hot := tx.co.hot; hot != nil && !q.joined && kind != kvlayout.WriteInsert &&
+			!tx.mayStall() && !tx.holdsLocks() && hot.Queued(ref.table, ref.key) {
+			specLane = tx.queueSpec(specOp, primary, ref)
+			spec = true
+		}
 		// One doorbell: the CAS is ordered before the READ on the same
 		// queue pair, so the READ observes the post-CAS slot. The two ops
 		// admit through the link rules independently, so a fault injected
 		// between them can fail the READ after the CAS took the lock —
 		// that lock must be handed to the abort path, not forgotten.
-		if err := tx.co.ep.Do(lockOp, readOp); err != nil {
+		var derr error
+		if spec {
+			derr = tx.co.ep.Do(lockOp, readOp, specOp)
+			// Absorb the ticket BEFORE any error handling: once the FAA
+			// executed, the lane is owed a head advance no matter which
+			// path this iteration takes (the defer settles an unconverted
+			// ticket).
+			tx.queueAbsorb(&q, specLane, specOp)
+		} else {
+			derr = tx.co.ep.Do(lockOp, readOp)
+		}
+		if derr != nil {
 			if lockOp.Swapped {
-				return tx.failLocked(ent, primary, all, err)
+				return tx.failLocked(ent, primary, all, derr)
 			}
-			return tx.verbFailure(err)
+			return tx.verbFailure(derr)
 		}
 		if !lockOp.Swapped {
 			old := lockOp.Old
@@ -647,6 +688,12 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 				// Live conflict: the CAS lost to a running coordinator.
 				conflicted = true
 				opts.Metrics.CountLock(metrics.LockRetry)
+				// The holder may be an acked commit whose release is still
+				// queued on a same-node drain: flush it and retry instead of
+				// aborting (§16).
+				if tx.drainWait(old) {
+					continue
+				}
 				if kind == kvlayout.WriteInsert {
 					return errSlotContended
 				}
@@ -781,10 +828,14 @@ func (tx *Tx) stageLockedWrite(ref objRef, kind kvlayout.WriteKind, newValue []b
 		ent.queued = true
 		ent.queueHead = q.lane.Head
 		q.transferred = true
-		opts.Metrics.CountLock(metrics.LockQueuedAcquire)
-	} else if hot := tx.co.hot; hot != nil && !conflicted {
-		// Uncontended first-CAS acquisition: feed the quiet streak that
-		// demotes a cooled-down key back to plain CAS locking.
+		if conflicted {
+			opts.Metrics.CountLock(metrics.LockQueuedAcquire)
+		}
+	}
+	if hot := tx.co.hot; hot != nil && !conflicted {
+		// Uncontended first-CAS acquisition (the speculative ticket may
+		// still have joined the lane): feed the quiet streak that demotes
+		// a cooled-down key back to plain CAS locking.
 		if hot.OnAcquired(ref.table, ref.key) {
 			opts.Metrics.CountLock(metrics.LockDemotion)
 		}

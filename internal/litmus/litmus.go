@@ -175,6 +175,12 @@ func clusterConfig(t Test, cfg Config) pandora.Config {
 		// would mask read-time interleavings (a hit skips the fabric),
 		// so it is disabled here.
 		ReadCacheSize: -1,
+		// Likewise the asynchronous commit-back stays off: litmus
+		// reasons about the commit point from the client's ack, and the
+		// serialization-window checks assume a commit that returns with
+		// its locks already released. The drain would also queue tails
+		// across iteration boundaries, blurring per-iteration blame.
+		AsyncCommitBack: false,
 		Tables: []pandora.TableSpec{
 			{Name: "litmus", ValueSize: 16, Capacity: cfg.Iterations*len(t.Vars) + 64},
 		},

@@ -244,3 +244,20 @@ func TestClusterConfigPinsNoReadCache(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterConfigPinsSyncCommitBack: litmus must run with the
+// synchronous commit tail. The asynchronous commit-back (DESIGN.md §16)
+// returns from Commit with the locks still queued on the coordinator's
+// drain; litmus derives the serialization order from the ack, so an
+// async tail would let a later iteration observe a committed-but-locked
+// window and mis-blame the protocol. The knob must stay off regardless
+// of what a future Config field plumbs through.
+func TestClusterConfigPinsSyncCommitBack(t *testing.T) {
+	for _, lt := range All() {
+		cfg := Config{}
+		cfg.fill()
+		if clusterConfig(lt, cfg).AsyncCommitBack {
+			t.Errorf("litmus %q: AsyncCommitBack enabled, want the synchronous tail", lt.Name)
+		}
+	}
+}

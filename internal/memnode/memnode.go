@@ -45,10 +45,10 @@ type Server struct {
 // ring's placement.
 func NewServer(fab *rdma.Fabric, id rdma.NodeID, ring *place.Ring, schema []kvlayout.Table) *Server {
 	s := &Server{
-		id:     id,
-		fab:    fab,
-		schema: schema,
-		ring:   ring,
+		id:       id,
+		fab:      fab,
+		schema:   schema,
+		ring:     ring,
 		tables:   make(map[tableKey]*rdma.Region),
 		logs:     make(map[rdma.NodeID]*rdma.Region),
 		hotlocks: make(map[uint32]*rdma.Region),

@@ -43,6 +43,33 @@ func TestRecordPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestDrainPathZeroAlloc: the warm async commit-back instrumentation —
+// drain counters, depth gauge, critical-path round counter, ack-to-
+// unlocked phase — must be heap-free. The enqueue path runs inside
+// Commit's ack window and the drain flush runs under the coordinator's
+// drain mutex; an allocation on either would charge every acked commit.
+func TestDrainPathZeroAlloc(t *testing.T) {
+	skipIfRace(t, "the drain zero-alloc record contract (enqueue/flush counters on the warm path)")
+	r := New()
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"CountDrain", func() { r.CountDrain(DrainEnqueued); r.CountDrain(DrainFlushed) }},
+		{"RecordDrainDepth", func() { r.RecordDrainDepth(3) }},
+		{"CountCommitRound", func() { r.CountCommitRound() }},
+		{"AckToUnlocked", func() { r.RecordPhase(PhaseAckToUnlocked, 2, 5*time.Microsecond) }},
+		{"LockDrainWait", func() { r.CountLock(LockDrainWait) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if n := testing.AllocsPerRun(200, c.fn); n != 0 {
+				t.Fatalf("%s allocates %.1f/op, want 0", c.name, n)
+			}
+		})
+	}
+}
+
 // TestNilRecordPathZeroAlloc: the disabled (nil-registry) paths cost a
 // nil check and nothing else.
 func TestNilRecordPathZeroAlloc(t *testing.T) {

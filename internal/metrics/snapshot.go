@@ -38,6 +38,17 @@ type LockSnapshot struct {
 	Count uint64 `json:"count"`
 }
 
+// DrainSnapshot summarises the post-ack drain pipeline (DESIGN.md §16):
+// event counters plus the queue-depth gauge and its high-water mark.
+type DrainSnapshot struct {
+	Enqueued     uint64 `json:"enqueued"`
+	Flushed      uint64 `json:"flushed"`
+	Failures     uint64 `json:"failures"`
+	Depth        int64  `json:"depth"`
+	MaxDepth     uint64 `json:"max_depth"`
+	CommitRounds uint64 `json:"commit_rounds"`
+}
+
 // Snapshot is a point-in-time copy of a registry. Rows are fully
 // sorted (phases in enum order, verbs by node then verb, abort reasons
 // and lock events in enum order) and every phase/reason/event row is
@@ -50,6 +61,7 @@ type Snapshot struct {
 	Verbs  []VerbSnapshot  `json:"verbs"`
 	Aborts []AbortSnapshot `json:"aborts"`
 	Locks  []LockSnapshot  `json:"locks"`
+	Drain  DrainSnapshot   `json:"drain"`
 }
 
 // Snapshot captures the registry's current counters. A nil registry
@@ -83,6 +95,14 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if r == nil {
 		return s
+	}
+	s.Drain = DrainSnapshot{
+		Enqueued:     r.drains[DrainEnqueued].Load(),
+		Flushed:      r.drains[DrainFlushed].Load(),
+		Failures:     r.drains[DrainFailure].Load(),
+		Depth:        r.drainDepth.Load(),
+		MaxDepth:     r.drainMax.Load(),
+		CommitRounds: r.commitRounds.Load(),
 	}
 	if t := r.verbs.tab.Load(); t != nil {
 		for i, node := range t.nodes { // nodes are sorted
@@ -178,6 +198,13 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		v.Faulted -= pv.Faulted
 		out.Verbs = append(out.Verbs, v)
 	}
+	// Drain counters subtract; Depth/MaxDepth are gauges and keep s's
+	// point-in-time values.
+	out.Drain = s.Drain
+	out.Drain.Enqueued -= prev.Drain.Enqueued
+	out.Drain.Flushed -= prev.Drain.Flushed
+	out.Drain.Failures -= prev.Drain.Failures
+	out.Drain.CommitRounds -= prev.Drain.CommitRounds
 	return out
 }
 
@@ -204,6 +231,9 @@ func (s Snapshot) Idle() bool {
 		if l.Count != 0 {
 			return false
 		}
+	}
+	if s.Drain.Enqueued|s.Drain.Flushed|s.Drain.Failures|s.Drain.CommitRounds != 0 {
+		return false
 	}
 	return true
 }

@@ -117,6 +117,26 @@ func (b *OpBatch) AddFlush(addr Addr, n int) *Op {
 	return op
 }
 
+// ChainFlushes appends one persistence Flush behind every successful
+// WRITE op in b[from:], covering exactly the bytes each write carried.
+// Posted in the same doorbell as the writes, RC per-pair ordering makes
+// each flush observe its write (DESIGN.md §16): one fused chain per
+// destination replaces the write round + flush round pair. Returns the
+// number of flushes appended.
+func (b *OpBatch) ChainFlushes(from int) int {
+	n := b.Len()
+	added := 0
+	for i := from; i < n; i++ {
+		op := b.Op(i)
+		if op.Kind != OpWrite || op.Err != nil {
+			continue
+		}
+		b.AddFlush(op.Addr, len(op.Buf))
+		added++
+	}
+	return added
+}
+
 // Bytes returns a zeroed n-byte scratch slice from the batch's arena,
 // valid until the next Reset/Put.
 func (b *OpBatch) Bytes(n int) []byte {

@@ -331,9 +331,10 @@ const parallelMinBytes = 8 << 10
 // destination node and applied in posting order within each group, so
 // RC in-order delivery per (src,dst) queue pair holds; groups to
 // different nodes may run in parallel. The virtual clock is charged the
-// maximum of the individual verb durations regardless of how the ops
-// were scheduled. It returns the first per-op error in posting order,
-// if any; all ops are attempted regardless.
+// pipelined completion time — the maximum over destination groups of
+// pipelineDuration — regardless of how the ops were scheduled. It
+// returns the first per-op error in posting order, if any; all ops are
+// attempted regardless.
 func (ep *Endpoint) Do(ops ...*Op) error {
 	if len(ops) < 2 {
 		return ep.doSerial(ops)
@@ -353,18 +354,65 @@ func (ep *Endpoint) Do(ops ...*Op) error {
 	return ep.doParallel(ops)
 }
 
-// doSerial applies the batch inline in posting order. Charging (max of
-// durations, first error, every op attempted) is identical to the
+// pipelineDuration models a multi-verb posting list on one queue pair.
+// The NIC posts the whole list back to back, so the verbs pipeline on
+// the wire: the chain completes after one round trip plus the
+// serialized payload/occupancy time of every verb — Σd − (k−1)·BaseRTT
+// — and never sooner than the slowest verb alone (slow-link and
+// retransmit surcharges are inside the individual d's and are not
+// overlapped away). This is what makes doorbell fusion (§16) pay:
+// chaining a flush behind its write costs the flush's transfer time,
+// not a second round trip, while a separate doorbell costs a full RTT.
+func pipelineDuration(k int, sumD, maxD, rtt time.Duration) time.Duration {
+	if k <= 1 {
+		return maxD
+	}
+	d := sumD - time.Duration(k-1)*rtt
+	if d < maxD {
+		return maxD
+	}
+	return d
+}
+
+// doSerial applies the batch inline in posting order. Charging (per-QP
+// pipelining, first error, every op attempted) is identical to the
 // parallel path: the schedule is an execution detail, never a semantic.
 func (ep *Endpoint) doSerial(ops []*Op) error {
-	var maxD time.Duration
+	type nodeAgg struct {
+		node NodeID
+		cnt  int
+		sum  time.Duration
+		max  time.Duration
+	}
+	aggs := make([]nodeAgg, 0, 8)
 	var first error
 	for _, op := range ops {
-		if d := ep.post(op, faultInline); d > maxD {
-			maxD = d
-		}
+		d := ep.post(op, faultInline)
 		if op.Err != nil && first == nil {
 			first = op.Err
+		}
+		j := -1
+		for i := range aggs {
+			if aggs[i].node == op.Addr.Node {
+				j = i
+				break
+			}
+		}
+		if j < 0 {
+			aggs = append(aggs, nodeAgg{node: op.Addr.Node})
+			j = len(aggs) - 1
+		}
+		aggs[j].cnt++
+		aggs[j].sum += d
+		if d > aggs[j].max {
+			aggs[j].max = d
+		}
+	}
+	rtt := ep.fab.lat.BaseRTT
+	var maxD time.Duration
+	for i := range aggs {
+		if d := pipelineDuration(aggs[i].cnt, aggs[i].sum, aggs[i].max, rtt); d > maxD {
+			maxD = d
 		}
 	}
 	ep.clock.Advance(maxD)
@@ -425,13 +473,15 @@ func (g *doGroup) run() {
 }
 
 func (g *doGroup) exec() {
-	var maxD time.Duration
+	var maxD, sumD time.Duration
 	for _, i := range g.idx {
-		if d := g.ep.post(g.ops[i], g.ds.faults[i]); d > maxD {
+		d := g.ep.post(g.ops[i], g.ds.faults[i])
+		sumD += d
+		if d > maxD {
 			maxD = d
 		}
 	}
-	g.maxD = maxD
+	g.maxD = pipelineDuration(len(g.idx), sumD, maxD, g.ep.fab.lat.BaseRTT)
 }
 
 func (ds *doState) newGroup(node NodeID) int {

@@ -18,9 +18,14 @@ import (
 //     abortCause, the single decision point — a second bump site would
 //     double-count or, worse, count paths that are not aborts.
 //   - A3 (flow): inside abortInternal, a return that constructs
-//     &abortError must be reached only after the unlock call
-//     (unlockAll): the abort error is the client-visible "aborted" ack,
-//     and acking before the locks are actually released recreates the
+//     &abortError must be reached only after the locks were released:
+//     either the unlock call (unlockAll), or — the fused commit-tail
+//     shape of DESIGN.md §16 — a staged release batch
+//     (appendReleaseOps) actually posted by a cleanup doorbell
+//     (doCleanup). Staging alone does not release; the `b.Len() > 0`
+//     false edge proves the batch was empty (nothing to release). The
+//     abort error is the client-visible "aborted" ack, and acking
+//     before the locks are actually released recreates the
 //     fenced-zombie hazard (Cor3's dual).
 //   - A4: the reason passed to abort/abortCause must be a typed
 //     metrics.AbortReason value, and the literal metrics.AbortOther is
@@ -43,11 +48,12 @@ func runAbortcause(pass *Pass) error {
 	return nil
 }
 
-// abortFact is the A3 lattice: whether the unlock call has definitely
-// happened on the current path.
+// abortFact is the A3 lattice: whether the locks were definitely
+// released on the current path. Bits so joins can carry "either".
 const (
-	abortLocked   = 1 // unlockAll not yet reached
-	abortUnlocked = 2
+	abortLocked   = 1 // no release reached
+	abortStaged   = 2 // release ops staged (appendReleaseOps), not posted
+	abortUnlocked = 4
 	abortEither   = abortLocked | abortUnlocked
 )
 
@@ -58,16 +64,38 @@ func (abortProblem) Entry() any { return abortLocked }
 func (abortProblem) Transfer(n ast.Node, fact any) any {
 	f := fact.(int)
 	shallowCalls(n, func(call *ast.CallExpr) {
-		if calleeName(call) == "unlockAll" {
+		switch calleeName(call) {
+		case "unlockAll":
 			f = abortUnlocked
+		case "appendReleaseOps":
+			// The fused tail stages the releases into a batch; the locks
+			// are not free until a cleanup doorbell posts them.
+			f = abortStaged
+		case "doCleanup":
+			if f&abortStaged != 0 {
+				f = f&^abortStaged | abortUnlocked
+			}
 		}
 	})
 	return f
 }
 
-func (abortProblem) Branch(cond ast.Expr, taken bool, fact any) any { return fact }
-func (abortProblem) Join(a, b any) any                              { return a.(int) | b.(int) }
-func (abortProblem) Equal(a, b any) bool                            { return a == b }
+func (abortProblem) Branch(cond ast.Expr, taken bool, fact any) any {
+	f := fact.(int)
+	if f&abortStaged == 0 {
+		return f
+	}
+	// `<b>.Len() > 0` false edge on a staged batch: nothing was staged,
+	// so there was nothing to release and the path counts as unlocked.
+	if be, ok := cond.(*ast.BinaryExpr); ok && be.Op.String() == ">" && !taken {
+		if call, isCall := be.X.(*ast.CallExpr); isCall && calleeName(call) == "Len" {
+			return f&^abortStaged | abortUnlocked
+		}
+	}
+	return f
+}
+func (abortProblem) Join(a, b any) any   { return a.(int) | b.(int) }
+func (abortProblem) Equal(a, b any) bool { return a == b }
 
 func (p *Pass) checkAbortUnit(u funcUnit) {
 	inAbortInternal := u.name() == "abortInternal"
@@ -119,10 +147,10 @@ func (p *Pass) checkAbortUnit(u funcUnit) {
 		if !constructs {
 			return
 		}
-		if fact.(int)&abortLocked != 0 && !reported[ret.Pos()] {
+		if fact.(int)&(abortLocked|abortStaged) != 0 && !reported[ret.Pos()] {
 			reported[ret.Pos()] = true
 			p.Reportf(ret.Pos(), "abortcause",
-				"abortError returned on a path that never released the write-set locks (unlockAll): acking the abort before the locks are freed recreates the fenced-zombie hazard")
+				"abortError returned on a path that never released the write-set locks (unlockAll, or a staged appendReleaseOps batch posted via doCleanup): acking the abort before the locks are freed recreates the fenced-zombie hazard")
 		}
 	})
 }

@@ -27,9 +27,12 @@ import (
 // q.joined and will pay nothing. This is exactly the PR 9 leak shape:
 // deleting the settle before the zeroing wedges the lane.
 //
-// Same-package helpers get one-level call summaries: a *joiner* FAAs a
-// `.Tail` and publishes `.joined = true` into a parameter; a *settler*
-// FAAs a `.Head`. Guarded head CASes (queueWait's and recovery's
+// Same-package helpers get one-level call summaries: a *joiner*
+// publishes `.joined = true` into a parameter after either FAAing a
+// `.Tail` itself or absorbing a speculative ticket FAA that rode
+// another doorbell (the queueAbsorb shape of DESIGN.md §16, recognised
+// by reading the op's `.Old` result); a *settler* FAAs a `.Head`.
+// Guarded head CASes (queueWait's and recovery's
 // `CAS(head, head+1)` repairs) are repairs of OTHER participants' debt
 // and deliberately do not settle the analyzed function's own ticket.
 //
@@ -99,7 +102,7 @@ func (p *Pass) laneSummaries() *laneSummary {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			tailFAA, headFAA, queueHeadFAA := false, false, false
+			tailFAA, headFAA, queueHeadFAA, readsOld := false, false, false, false
 			published := ""
 			scanShallow(fd.Body, func(n ast.Node) bool {
 				switch n := n.(type) {
@@ -114,6 +117,13 @@ func (p *Pass) laneSummaries() *laneSummary {
 						case "queueHead":
 							queueHeadFAA = true
 						}
+					}
+				case *ast.SelectorExpr:
+					// Reading an op's .Old is the absorb signature: the FAA
+					// itself rode an earlier doorbell (queueSpec armed it),
+					// and this helper converts its result into queue state.
+					if n.Sel.Name == "Old" {
+						readsOld = true
 					}
 				case *ast.AssignStmt:
 					for _, lhs := range n.Lhs {
@@ -132,7 +142,7 @@ func (p *Pass) laneSummaries() *laneSummary {
 			if headFAA && !tailFAA {
 				sum.settler[fd.Name.Name] = true
 			}
-			if tailFAA && published != "" {
+			if (tailFAA || readsOld) && published != "" {
 				flat := 0
 				for _, field := range fd.Type.Params.List {
 					if len(field.Names) == 0 {
@@ -344,12 +354,13 @@ func (lp *laneProblem) applyCalls(n ast.Node, f laneFacts) laneFacts {
 }
 
 // joinEvent reports whether call takes a ticket, returning the tracked
-// queue-state variable name: a raw FAA on a `.Tail` (tracking the
-// address's base variable) or a call to a summarized joiner helper
-// (tracking the &q argument's base).
+// queue-state variable name: a raw FAA/AddFAA on a `.Tail` (tracking
+// the address's base variable — AddFAA is the batch-armed speculative
+// ticket of the fused lock doorbell) or a call to a summarized joiner
+// helper (tracking the &q argument's base).
 func (lp *laneProblem) joinEvent(call *ast.CallExpr) (string, bool) {
 	name := calleeName(call)
-	if name == "FAA" && len(call.Args) >= 1 && lastSelector(call.Args[0]) == "Tail" {
+	if (name == "FAA" || name == "AddFAA") && len(call.Args) >= 1 && lastSelector(call.Args[0]) == "Tail" {
 		if id := baseIdent(call.Args[0]); id != nil {
 			return id.Name, true
 		}

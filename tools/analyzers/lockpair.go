@@ -41,6 +41,17 @@ import (
 //
 // Any non-crash exit reachable while the obligation is outstanding is
 // the leak; the diagnostic points at the lock post.
+//
+// A second obligation rides the same CFG (DESIGN.md §16): once a
+// function acknowledges a commit (`<x>.AckedCommit = true`), its locks
+// must reach a release path before any non-crash exit — the synchronous
+// unlock (unlockAll), the fused release batch (appendReleaseOps), the
+// drain hand-off (handoffTail), or the sanctioned post-ack failure exit
+// (postAckFailure). Deleting the async tail's hand-off leaves Commit
+// returning with an acked transaction's locks owned by nobody — exactly
+// the leak the drain exists to prevent. The read-only ack is exempt: it
+// is refined by the `len(<x>.writes) == 0` taken edge, which proves
+// there are no locks to release.
 var Lockpair = &Analyzer{
 	Name: "lockpair",
 	Doc:  "lock-acquiring CAS must register in the write set before the function gives up control",
@@ -194,6 +205,79 @@ func (lp *lockProblem) Branch(cond ast.Expr, taken bool, fact any) any {
 	return f
 }
 
+// ackFact is the ack-obligation lattice value: whether the commit has
+// been acknowledged without its locks reaching a release path yet.
+type ackFact struct {
+	pending  bool
+	pos      token.Pos // the AckedCommit assignment, for reporting
+	readOnly bool      // the len(writes) == 0 edge was taken: no locks exist
+}
+
+// ackReleases are the calls that hand an acknowledged commit's locks to
+// a release path: the synchronous unlock, the fused release batch, the
+// async drain hand-off, and the sanctioned post-ack failure exit.
+var ackReleases = map[string]bool{
+	"unlockAll":        true,
+	"appendReleaseOps": true,
+	"handoffTail":      true,
+	"postAckFailure":   true,
+}
+
+type ackProblem struct{}
+
+func (ackProblem) Entry() any { return ackFact{} }
+
+func (ackProblem) Equal(a, b any) bool { return a == b }
+
+func (ackProblem) Join(a, b any) any {
+	fa, fb := a.(ackFact), b.(ackFact)
+	if fa.pending {
+		return fa
+	}
+	if fb.pending {
+		return fb
+	}
+	// readOnly survives a merge only when proven on both sides.
+	return ackFact{readOnly: fa.readOnly && fb.readOnly}
+}
+
+func (ackProblem) Transfer(n ast.Node, fact any) any {
+	f := fact.(ackFact)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for i, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AckedCommit" || i >= len(as.Rhs) {
+				continue
+			}
+			if id, ok := as.Rhs[i].(*ast.Ident); ok && id.Name == "true" && !f.readOnly {
+				f.pending = true
+				f.pos = as.Pos()
+			}
+		}
+	}
+	shallowCalls(n, func(call *ast.CallExpr) {
+		if ackReleases[calleeName(call)] {
+			f.pending = false
+		}
+	})
+	return f
+}
+
+func (ackProblem) Branch(cond ast.Expr, taken bool, fact any) any {
+	f := fact.(ackFact)
+	// `len(<x>.writes) == 0` taken edge: a read-only transaction holds
+	// no locks, so its ack carries no release obligation.
+	if be, ok := cond.(*ast.BinaryExpr); ok && be.Op.String() == "==" && taken {
+		if call, isCall := be.X.(*ast.CallExpr); isCall && calleeName(call) == "len" &&
+			len(call.Args) == 1 && lastSelector(call.Args[0]) == "writes" {
+			if lit, isLit := be.Y.(*ast.BasicLit); isLit && lit.Value == "0" {
+				f.readOnly = true
+			}
+		}
+	}
+	return f
+}
+
 func (p *Pass) checkLockUnit(u funcUnit) {
 	lp := &lockProblem{pass: p,
 		lockVars: p.lockOpVars(u.body), reported: make(map[token.Pos]bool)}
@@ -214,6 +298,21 @@ func (p *Pass) checkLockUnit(u funcUnit) {
 		}
 		p.Reportf(f.pos, "lockpair",
 			"%s can reach a function exit before the write set registers the lock (append to writes, set .locked, or hand over via failLocked): a fault on that path leaks the lock (PR 1 class)", kind)
+	})
+
+	ackRes := Solve(g, ackProblem{})
+	ackReported := make(map[token.Pos]bool)
+	ackRes.ExitFacts(func(b *Block, ret *ast.ReturnStmt, fact any) {
+		if returnsCrash(ret) {
+			return
+		}
+		f := fact.(ackFact)
+		if !f.pending || ackReported[f.pos] {
+			return
+		}
+		ackReported[f.pos] = true
+		p.Reportf(f.pos, "lockpair",
+			"acknowledged commit can reach a function exit without handing its locks to a release path (unlockAll, appendReleaseOps, handoffTail, or postAckFailure): the acked transaction's locks would be owned by nobody until recovery (§16)")
 	})
 }
 

@@ -55,6 +55,37 @@ func (tx *Tx) goodAbort() error {
 	return tx.abort(AbortConflict, "lock conflict")
 }
 
+// opBatch mirrors rdma.OpBatch for the fused-tail shapes.
+type opBatch struct{ n int }
+
+func (b *opBatch) Len() int   { return b.n }
+func (b *opBatch) Ops() []int { return nil }
+
+// TxFused mirrors the fused commit-tail abort (DESIGN.md §16): the
+// releases are staged into a batch and posted in one cleanup doorbell.
+type TxFused struct{ locks int }
+
+func (tx *TxFused) appendReleaseOps(b *opBatch, abortPath bool) {}
+func (tx *TxFused) doCleanup(ops []int) error                   { return nil }
+
+// abortInternal (fused shape): staging the releases is not releasing —
+// the early return acks the abort while the staged locks are still
+// held. The posted path (and the empty-batch false edge of Len) are the
+// legal exits.
+func (tx *TxFused) abortInternal(kind AbortReason, reason string) error {
+	b := &opBatch{n: tx.locks}
+	tx.appendReleaseOps(b, true)
+	if tx.locks < 0 {
+		return &abortError{kind, reason} // want "never released the write-set locks"
+	}
+	if b.Len() > 0 {
+		if err := tx.doCleanup(b.Ops()); err != nil {
+			return err
+		}
+	}
+	return &abortError{kind, reason}
+}
+
 // rogueAbort constructs the abort error outside abortInternal, skipping
 // the taxonomy counter and the rollback/unlock sequence.
 func (tx *Tx) rogueAbort() error {

@@ -151,3 +151,70 @@ func (tx *Tx) leakyNeverRegistered(addr, old uint64) error {
 	_, _, err := tx.ep.CAS(addr, old, tx.lockWord()) // want "lock-acquiring CAS can reach a function exit"
 	return err
 }
+
+// ackTx mirrors the commit-tail surface of the ack-obligation rule
+// (DESIGN.md §16): once AckedCommit is set, the locks must reach a
+// release path before any non-crash exit.
+type ackTx struct {
+	writes      []*writeEnt
+	AckedCommit bool
+	async       bool
+}
+
+func (tx *ackTx) unlockAll(abortPath bool) error         { return nil }
+func (tx *ackTx) handoffTail(ackedAt int64)              {}
+func (tx *ackTx) postAckFailure(err error) error         { return err }
+func (tx *ackTx) truncateLogs() error                    { return nil }
+func (tx *ackTx) appendReleaseOps(b *Op, abortPath bool) {}
+func (tx *ackTx) crash() error                           { return nil }
+func (tx *ackTx) release()                               {}
+
+// goodCommitTail is the real Commit shape: the read-only ack is exempt
+// (no locks exist), the async branch hands the tail to the drain, the
+// sync branch unlocks, and post-ack failures route to the sanctioned
+// exit.
+func (tx *ackTx) goodCommitTail(die bool) error {
+	if len(tx.writes) == 0 {
+		tx.AckedCommit = true
+		tx.release()
+		return nil
+	}
+	tx.AckedCommit = true
+	if die {
+		return tx.crash()
+	}
+	if tx.async {
+		tx.handoffTail(7)
+		tx.release()
+		return nil
+	}
+	if err := tx.truncateLogs(); err != nil {
+		return tx.postAckFailure(err)
+	}
+	if err := tx.unlockAll(false); err != nil {
+		return tx.postAckFailure(err)
+	}
+	tx.release()
+	return nil
+}
+
+// goodFusedTail releases through the staged batch.
+func (tx *ackTx) goodFusedTail(b *Op) error {
+	tx.AckedCommit = true
+	tx.appendReleaseOps(b, false)
+	tx.release()
+	return nil
+}
+
+// leakyAckedTail is the deleted-hand-off leak: the async branch returns
+// at the ack without giving the tail to the drain, so the acked
+// transaction's locks are owned by nobody.
+func (tx *ackTx) leakyAckedTail() error {
+	if len(tx.writes) == 0 {
+		tx.AckedCommit = true
+		return nil
+	}
+	tx.AckedCommit = true // want "acknowledged commit can reach a function exit"
+	tx.release()
+	return nil
+}

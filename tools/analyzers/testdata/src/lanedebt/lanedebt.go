@@ -46,6 +46,29 @@ func (co *Coord) queueJoin(q *queueState) error {
 	return nil
 }
 
+// Op mirrors rdma.Op for the speculative-ticket shapes (§16): the FAA
+// is armed into a batch op and rides another doorbell.
+type Op struct {
+	Kind  int
+	Addr  *uint64
+	Delta uint64
+	Old   uint64
+	Err   error
+}
+
+// queueAbsorb mirrors the fused-doorbell absorb: the ticket FAA already
+// rode the lock doorbell; absorbing its .Old result publishes the debt
+// into the caller's queue state (summarized as a joiner via the .Old
+// read — it never calls FAA itself).
+func (co *Coord) queueAbsorb(q *queueState, lane Lane, op *Op) {
+	if op.Err != nil {
+		return
+	}
+	q.lane = lane
+	q.joined = true
+	q.ticket = op.Old
+}
+
 // payLaneDebt is the primitive settler: one head advance (summarized
 // as a settler).
 func (co *Coord) payLaneDebt(lane *Lane) {
@@ -111,6 +134,39 @@ func (co *Coord) goodCrash(q *queueState, die bool) error {
 	}
 	co.payLaneDebt(&q.lane)
 	return nil
+}
+
+// goodAbsorbTransfer is the fused stageLockedWrite shape: the
+// speculative ticket is absorbed after the doorbell and the debt is
+// transferred to the write entry on acquisition.
+func (co *Coord) goodAbsorbTransfer(q *queueState, w *writeEnt, op *Op) error {
+	co.queueAbsorb(q, Lane{}, op)
+	w.queued = true
+	w.queueHead = q.lane.Head
+	q.transferred = true
+	return nil
+}
+
+// goodAbsorbDefer: the gated defer covers an absorbed ticket exactly
+// like a joined one.
+func (co *Coord) goodAbsorbDefer(q *queueState, op *Op, busy bool) error {
+	defer func() {
+		if q.joined && !q.transferred {
+			co.payLaneDebt(&q.lane)
+		}
+	}()
+	co.queueAbsorb(q, Lane{}, op)
+	if busy {
+		return nil
+	}
+	return nil
+}
+
+// leakAbsorb absorbs a speculative ticket and forgets the debt — the
+// fused-doorbell variant of leakReturn.
+func (co *Coord) leakAbsorb(q *queueState, op *Op) error {
+	co.queueAbsorb(q, Lane{}, op)
+	return nil // want "ticket-lane debt of q is unsettled"
 }
 
 // leakReturn forgets the head advance entirely.

@@ -10,7 +10,7 @@ GO      ?= go
 BIN     := bin
 VETTOOL := $(BIN)/pandora-vet
 
-.PHONY: all build lint test bench-smoke chaos-smoke clean
+.PHONY: all build lint test bench-smoke chaos-smoke proptest soak clean
 
 all: build lint test
 
@@ -49,6 +49,22 @@ bench-smoke:
 	# virtual clock; its artifact must match bin/BENCH_commitpipe.json.
 	$(GO) run ./cmd/pandora-bench -experiment commitpipe -quick -json $(BIN)/BENCH_commitpipe.gen.json
 	cmp $(BIN)/BENCH_commitpipe.gen.json $(BIN)/BENCH_commitpipe.json
+
+# Property-based litmus lane: the proptest engine's own tests, then the
+# randomized multi-tx histories across the knob matrix (seeded corpus,
+# byte-identical across runs; failures shrink and drop a repro file in
+# bin/proptest-repro-*.json replayable with -replay).
+proptest:
+	$(GO) test -race ./internal/proptest/
+	$(GO) test -race -run 'TestRandom|TestShrink|TestReplay' ./internal/litmus/
+
+# Soak lane: deterministic mixed-tenant endurance run (TATP + SmallBank,
+# fault schedule, tuned knobs). The quick run regenerates the artifact,
+# which must match the checked-in bin/BENCH_soak.json byte for byte.
+soak:
+	$(GO) test -race -run 'TestSoak' ./internal/bench/
+	$(GO) run ./cmd/pandora-bench -experiment soak -quick -json $(BIN)/BENCH_soak.gen.json
+	cmp $(BIN)/BENCH_soak.gen.json $(BIN)/BENCH_soak.json
 
 chaos-smoke:
 	$(GO) test -race -short ./internal/chaos/

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	pandora "pandora"
+	"pandora/internal/conftest"
 )
 
 func testConfig() pandora.Config {
@@ -29,23 +30,11 @@ func u64(v uint64) []byte {
 // readValidated reads one key in a committed read-only transaction,
 // retrying validation aborts: a stale read-cache hit is rejected (and
 // invalidated) at commit, so the retry observes the committed state.
+// The retry loop itself lives in conftest, shared with the chaos
+// harness and the conformance suite.
 func readValidated(t testing.TB, s *pandora.Session, table string, key pandora.Key) []byte {
 	t.Helper()
-	for attempt := 0; ; attempt++ {
-		tx := s.Begin()
-		v, err := tx.Read(table, key)
-		if err != nil {
-			_ = tx.Abort()
-			t.Fatal(err)
-		}
-		cerr := tx.Commit()
-		if cerr == nil {
-			return v
-		}
-		if !pandora.IsAborted(cerr) || attempt >= 3 {
-			t.Fatal(cerr)
-		}
-	}
+	return conftest.MustRead(t, s, table, key)
 }
 
 func newLoaded(t testing.TB, cfg pandora.Config, n int) *pandora.Cluster {

@@ -31,9 +31,9 @@ func main() {
 // benchMain holds main's body so that deferred profile writers run even
 // when an experiment fails (os.Exit skips defers).
 func benchMain() int {
-	experiment := flag.String("experiment", "all", "experiment id: all, table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, scan, tradrec, tradss, distfd, persist, readcache, hotlock, commitpipe")
+	experiment := flag.String("experiment", "all", "experiment id: all, table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, scan, tradrec, tradss, distfd, persist, readcache, hotlock, commitpipe, soak")
 	quick := flag.Bool("quick", false, "run at CI scale instead of full scale")
-	jsonOut := flag.String("json", "", "also write machine-readable results of JSON-capable experiments (readcache, table2, hotlock, commitpipe) to this file")
+	jsonOut := flag.String("json", "", "also write machine-readable results of JSON-capable experiments (readcache, table2, hotlock, commitpipe, soak) to this file")
 	metricsOut := flag.String("metrics", "", "write the deterministic observability artifact (per-phase latency percentiles, abort taxonomy, verb counters) of metrics-capable experiments (table2, readcache) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -74,11 +74,11 @@ func benchMain() int {
 	if *experiment == "all" {
 		ids = []string{"table1", "table2", "tradrec", "scan", "tradss", "fig6", "fig7",
 			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "distfd", "persist",
-			"readcache", "hotlock", "commitpipe"}
+			"readcache", "hotlock", "commitpipe", "soak"}
 	}
 	metricsRes := map[string]*bench.MetricsResult{}
 	for _, id := range ids {
-		if err := run(id, s, litmusIters, steadyTx, *jsonOut, *metricsOut != "", metricsRes); err != nil {
+		if err := run(id, s, litmusIters, steadyTx, *quick, *jsonOut, *metricsOut != "", metricsRes); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			return 1
 		}
@@ -123,7 +123,7 @@ func section(id, paper string) {
 	fmt.Printf("\n===== %s (%s) =====\n", id, paper)
 }
 
-func run(id string, s bench.Scale, litmusIters, steadyTx int, jsonOut string, wantMetrics bool, metricsRes map[string]*bench.MetricsResult) error {
+func run(id string, s bench.Scale, litmusIters, steadyTx int, quick bool, jsonOut string, wantMetrics bool, metricsRes map[string]*bench.MetricsResult) error {
 	start := time.Now()
 	defer func() { fmt.Printf("[%s took %v]\n", id, time.Since(start).Round(time.Millisecond)) }()
 	switch id {
@@ -284,6 +284,27 @@ func run(id string, s bench.Scale, litmusIters, steadyTx int, jsonOut string, wa
 	case "commitpipe":
 		section(id, "Pipelined commit tail: doorbell fusion + async commit-back")
 		r, err := bench.CommitPipe(s, steadyTx/5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		if jsonOut != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("[wrote %s]\n", jsonOut)
+		}
+	case "soak":
+		section(id, "Endurance lane: mixed TATP+SmallBank tenants, fault schedule, tuned knobs")
+		sc := bench.SoakFull()
+		if quick {
+			sc = bench.SoakQuick()
+		}
+		r, err := bench.Soak(sc, 42)
 		if err != nil {
 			return err
 		}

@@ -5,9 +5,11 @@
 //	pandora-litmus -protocol ford       # validate the fixed Baseline
 //	pandora-litmus -bug covert-locks    # seed a Table-1 bug and catch it
 //	pandora-litmus -iterations 1000     # more crash-injection coverage
+//	pandora-litmus -replay <repro.json> # re-run a shrunk proptest repro
 //
-// Exit status is non-zero when a fixed protocol shows violations, or
-// when a seeded bug goes undetected.
+// Exit status is non-zero when a fixed protocol shows violations, when
+// a seeded bug goes undetected, or when a replayed repro reproduces
+// its recorded violation.
 package main
 
 import (
@@ -25,7 +27,39 @@ func main() {
 	iterations := flag.Int("iterations", 400, "iterations per litmus test")
 	seed := flag.Int64("seed", 1, "random seed")
 	noCrashes := flag.Bool("no-crashes", false, "disable crash injection (pure C1 validation)")
+	replay := flag.String("replay", "", "replay a bin/proptest-repro-*.json minimised schedule; exit 1 if its violation reproduces")
 	flag.Parse()
+
+	if *replay != "" {
+		rp, err := litmus.LoadRepro(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("replaying %s: seed=%d case=%d shrinks=%d txs=%d\nrecorded violation: %s\n",
+			*replay, rp.Seed, rp.Case, rp.Shrinks, len(rp.Schedule.Txs), rp.Violation)
+		rep, err := litmus.RunSchedule(rp.Schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", rp.Schedule.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-28s iters=%d crashes=%d recoveries=%d C/A/?=%d/%d/%d violations=%d\n",
+			rep.Test, rep.Iterations, rep.Crashes, rep.Recoveries,
+			rep.Committed, rep.Aborted, rep.Unknown, len(rep.Violations))
+		if len(rep.Violations) > 0 {
+			for i, v := range rep.Violations {
+				if i >= 3 {
+					fmt.Printf("    ... and %d more\n", len(rep.Violations)-3)
+					break
+				}
+				fmt.Printf("    %s\n", v)
+			}
+			fmt.Println("RESULT: recorded violation still reproduces")
+			os.Exit(1)
+		}
+		fmt.Println("RESULT: recorded violation no longer reproduces")
+		return
+	}
 
 	var proto core.Protocol
 	switch *protoName {

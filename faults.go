@@ -43,6 +43,25 @@ func (c *Cluster) FailComputeSoft(i int) (RecoveryStats, error) {
 	return c.lastRecovery(cn.ID())
 }
 
+// ReRecoverCompute re-runs the full recovery pass for compute node i's
+// most recent failure event and returns the second pass's statistics.
+// Recovery is idempotent (§3.2.3): when the first pass completed, the
+// re-run must find nothing to do — no logged transactions, no
+// roll-forward/roll-back, no stray locks — and must leave the store
+// byte-identical. Test harnesses (litmus recovery-idempotency
+// invariant, conformance suite) call this after FailCompute to assert
+// exactly that.
+func (c *Cluster) ReRecoverCompute(i int) (RecoveryStats, error) {
+	id := c.node(i).ID()
+	c.mu.Lock()
+	ev, ok := c.lastEv[id]
+	c.mu.Unlock()
+	if !ok {
+		return RecoveryStats{}, fmt.Errorf("pandora: no failure event recorded for node %d", i)
+	}
+	return c.mgr.RecoverCompute(ev)
+}
+
 // lastRecovery returns the recorded stats for a node's last recovery.
 func (c *Cluster) lastRecovery(id rdma.NodeID) (RecoveryStats, error) {
 	c.mu.Lock()

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	pandora "pandora"
+	"pandora/internal/conftest"
 )
 
 // Config parameterises one chaos run.
@@ -408,40 +409,17 @@ func (e *engine) readAll() ([]int64, error) {
 		return nil, fmt.Errorf("no alive compute node")
 	}
 	s := e.c.Session(node, 0)
-	table := e.wl.table().Name
 	vals := make([]int64, e.cfg.Keys)
-	const batch = 16
-	for lo := 0; lo < e.cfg.Keys; lo += batch {
-		hi := lo + batch
-		if hi > e.cfg.Keys {
-			hi = e.cfg.Keys
-		}
-		// Retry validation aborts: the coordinator's read cache may hold
-		// versions the workload has since overwritten; commit rejects and
-		// invalidates them, and the retry reads the committed state.
-		for attempt := 0; ; attempt++ {
-			tx := s.Begin()
-			var rerr error
-			for k := lo; k < hi; k++ {
-				v, err := tx.Read(table, pandora.Key(k))
-				if err != nil {
-					_ = tx.Abort()
-					rerr = fmt.Errorf("key %d: %w", k, err)
-					break
-				}
-				vals[k] = int64(binary.LittleEndian.Uint64(v))
-			}
-			if rerr != nil {
-				return nil, rerr
-			}
-			cerr := tx.Commit()
-			if cerr == nil {
-				break
-			}
-			if !pandora.IsAborted(cerr) || attempt >= 8 {
-				return nil, fmt.Errorf("audit read commit: %w", cerr)
-			}
-		}
+	// conftest.ReadBatch retries validation aborts per batch: the
+	// coordinator's read cache may hold versions the workload has since
+	// overwritten; commit rejects and invalidates them, and the retry
+	// reads the committed state.
+	err := conftest.ReadBatch(s, e.wl.table().Name, 0, e.cfg.Keys, 16, func(k int, v []byte) error {
+		vals[k] = int64(binary.LittleEndian.Uint64(v))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("audit read: %w", err)
 	}
 	return vals, nil
 }

@@ -1,0 +1,70 @@
+package conftest_test
+
+import (
+	"testing"
+
+	pandora "pandora"
+	"pandora/internal/conftest"
+)
+
+// factory adapts a Config into a conftest.Factory that builds a fresh
+// cluster per subtest and registers Close.
+func factory(cfg pandora.Config) conftest.Factory {
+	return func(tb testing.TB) *pandora.Cluster {
+		c, err := pandora.New(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(c.Close)
+		return c
+	}
+}
+
+func baseConfig() pandora.Config {
+	return pandora.Config{
+		Tables: []pandora.TableSpec{
+			{Name: conftest.Table, ValueSize: 16, Capacity: 4096},
+		},
+	}
+}
+
+// TestConformanceDefaults: the stock configuration (adaptive hot-lock
+// threshold, default-sized read cache, synchronous commit tail).
+func TestConformanceDefaults(t *testing.T) {
+	conftest.Run(t, factory(baseConfig()))
+}
+
+// TestConformanceRawBaseline: every tuned path off — no read cache,
+// CAS-spin locking. This is the shape the litmus family pins.
+func TestConformanceRawBaseline(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ReadCacheSize = -1
+	cfg.HotlockThreshold = -1
+	conftest.Run(t, factory(cfg))
+}
+
+// TestConformanceTuned: read cache + eager ticket-lane promotion.
+func TestConformanceTuned(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ReadCacheSize = 4096
+	cfg.HotlockThreshold = 1
+	conftest.Run(t, factory(cfg))
+}
+
+// TestConformanceAsyncCommitBack: the post-ack drain on top of the
+// tuned paths — the combination the random litmus matrix stresses.
+func TestConformanceAsyncCommitBack(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ReadCacheSize = 4096
+	cfg.HotlockThreshold = 1
+	cfg.AsyncCommitBack = true
+	conftest.Run(t, factory(cfg))
+}
+
+// TestConformanceFORDBaseline: the fixed FORD protocol (Pandora's
+// recovery, Table-1 fixes applied) must pass the same battery.
+func TestConformanceFORDBaseline(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Protocol = pandora.ProtocolFORD
+	conftest.Run(t, factory(cfg))
+}

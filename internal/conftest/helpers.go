@@ -1,0 +1,97 @@
+// Package conftest is the reusable conformance suite for anything that
+// presents a pandora.Cluster: a factory-parameterized battery of
+// correctness subtests (suite.go) plus the OCC retry helpers that used
+// to be copy-pasted across the package tests and the chaos harness.
+//
+// The helpers in this file deliberately avoid the testing package so
+// non-test binaries (the chaos engine, future CLI audits) can share
+// them; suite.go layers the testing.TB conveniences on top.
+package conftest
+
+import (
+	"fmt"
+
+	pandora "pandora"
+)
+
+// DefaultReadRetries bounds the validation-abort retry loops below. A
+// read-only transaction aborts only when a cached or in-flight version
+// moved under it; each retry invalidates the stale entry, so a handful
+// of attempts always converges on a quiescent cluster.
+const DefaultReadRetries = 8
+
+// ReadValidated reads one key in a committed read-only transaction,
+// retrying validation aborts: a stale read-cache hit is rejected (and
+// invalidated) at commit, so the retry observes the committed state.
+func ReadValidated(s *pandora.Session, table string, key pandora.Key) ([]byte, error) {
+	var v []byte
+	err := Committed(s, DefaultReadRetries, func(tx *pandora.Tx) error {
+		var err error
+		v, err = tx.Read(table, key)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Committed runs fn inside a transaction and commits it, retrying
+// conflict aborts up to retries times. Unlike Session.Update it never
+// sleeps — it is meant for read-mostly audits on quiescent clusters
+// where an abort means a stale cache entry, not a live conflict. fn may
+// run again on retry and must be idempotent.
+func Committed(s *pandora.Session, retries int, fn func(tx *pandora.Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := s.Begin()
+		if err := fn(tx); err != nil {
+			if !tx.Done() {
+				_ = tx.Abort()
+			}
+			if pandora.IsAborted(err) && attempt < retries {
+				continue // e.g. a read that found a transiently held lock
+			}
+			return err
+		}
+		cerr := tx.Commit()
+		if cerr == nil {
+			return nil
+		}
+		if !pandora.IsAborted(cerr) || attempt >= retries {
+			return cerr
+		}
+	}
+}
+
+// ReadBatch reads keys [lo, hi) in committed read-only transactions of
+// at most batch keys each, retrying validation aborts per batch, and
+// hands every key's value to fn. On a retry the whole batch is re-read
+// and fn re-invoked for its keys, so fn must be idempotent (slice
+// assignment is; appends are not).
+func ReadBatch(s *pandora.Session, table string, lo, hi, batch int, fn func(k int, v []byte) error) error {
+	if batch <= 0 {
+		batch = 16
+	}
+	for b := lo; b < hi; b += batch {
+		e := b + batch
+		if e > hi {
+			e = hi
+		}
+		err := Committed(s, DefaultReadRetries, func(tx *pandora.Tx) error {
+			for k := b; k < e; k++ {
+				v, err := tx.Read(table, pandora.Key(k))
+				if err != nil {
+					return fmt.Errorf("key %d: %w", k, err)
+				}
+				if err := fn(k, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

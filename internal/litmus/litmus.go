@@ -27,8 +27,48 @@ import (
 	pandora "pandora"
 	"pandora/internal/core"
 	"pandora/internal/kvlayout"
+	"pandora/internal/metrics"
 	"pandora/internal/rdma"
 )
+
+// Knobs selects the cluster tuning features a litmus run exercises.
+// Historically litmus pinned everything to the raw protocol (cache
+// off, CAS-spin locks, synchronous commit-back); the knob matrix runs
+// the same tests across the tuned paths too, so the read cache, the
+// FAA ticket lanes, and the async commit-back drain get the same
+// serializability/recovery scrutiny as the base protocol.
+type Knobs struct {
+	// ReadCacheSize: -1 disables the validated read cache, 0 means the
+	// library default, positive values size it explicitly.
+	ReadCacheSize int `json:"read_cache_size"`
+	// HotlockThreshold: -1 pins the CAS-spin baseline, 0 the adaptive
+	// default, positive values override the promotion streak.
+	HotlockThreshold int `json:"hotlock_threshold"`
+	// AsyncCommitBack hands the truncate+unlock tail to the post-ack
+	// drain queue. RunTest flushes all live drains before observing.
+	AsyncCommitBack bool `json:"async_commit_back"`
+}
+
+// String renders a knob combination as a compact stable tag.
+func (k Knobs) String() string {
+	return fmt.Sprintf("cache=%d/hot=%d/async=%t", k.ReadCacheSize, k.HotlockThreshold, k.AsyncCommitBack)
+}
+
+// DefaultKnobs is the historical litmus pin: raw reads, adaptive lock
+// promotion, synchronous commit-back. A nil Config.Knobs means this.
+func DefaultKnobs() Knobs { return Knobs{ReadCacheSize: -1, HotlockThreshold: 0} }
+
+// KnobMatrix is the configuration lattice every litmus family
+// explores: the raw protocol with CAS-spin locks, the read cache plus
+// eager ticket-lane promotion, and the full tuned pipeline with the
+// asynchronous commit-back drain on top.
+func KnobMatrix() []Knobs {
+	return []Knobs{
+		{ReadCacheSize: -1, HotlockThreshold: -1, AsyncCommitBack: false},
+		{ReadCacheSize: 4096, HotlockThreshold: 1, AsyncCommitBack: false},
+		{ReadCacheSize: 4096, HotlockThreshold: 1, AsyncCommitBack: true},
+	}
+}
 
 // Model is the abstract state a litmus test manipulates: named variables
 // with integer values; absent variables are not in the map.
@@ -77,20 +117,45 @@ type Test struct {
 	Vars      []string
 	Preloaded bool
 	Txs       []TxSpec
+	// ValueSize widens the litmus table's values (0 means the 16-byte
+	// default). Generated schedules treat it as a test dimension; the
+	// model value always lives in the first 8 bytes.
+	ValueSize int
+	// Invariant, when set, is checked against every iteration's
+	// observed state in addition to the reachability oracle — e.g. the
+	// bank-conservation invariant of transfer-only generated schedules,
+	// which must hold under every interleaving, not just serializable
+	// ones.
+	Invariant func(m Model) error
 }
 
 // Violation reports one observed serializability/recovery violation.
 type Violation struct {
 	Test      string
 	Iteration int
+	// Kind distinguishes the oracle that fired: "" (serializability
+	// reachability), "invariant", or "recovery-idempotency".
+	Kind      string
 	Observed  string
 	Reachable []string
 	Statuses  string
 }
 
+// valueSize resolves the litmus table's value size for this test.
+func (t Test) valueSize() int {
+	if t.ValueSize >= 16 {
+		return t.ValueSize
+	}
+	return 16
+}
+
 func (v Violation) String() string {
-	return fmt.Sprintf("%s[iter %d]: observed {%s} with statuses %s; reachable: %v",
-		v.Test, v.Iteration, v.Observed, v.Statuses, v.Reachable)
+	kind := v.Kind
+	if kind == "" {
+		kind = "serializability"
+	}
+	return fmt.Sprintf("%s[iter %d] %s: observed {%s} with statuses %s; reachable: %v",
+		v.Test, v.Iteration, kind, v.Observed, v.Statuses, v.Reachable)
 }
 
 // Config parameterises a validation run.
@@ -111,6 +176,26 @@ type Config struct {
 	NoCrashes bool
 	// Jitter adds random delays after validation to widen race windows.
 	Jitter bool
+	// Knobs selects the cluster tuning features under test; nil means
+	// DefaultKnobs (the historical raw-protocol pin).
+	Knobs *Knobs
+	// CrashPoint, when non-nil, pins every injected mid-transaction
+	// crash to one protocol point instead of drawing one per
+	// iteration — generated schedules treat the crash point as an
+	// explicit test dimension.
+	CrashPoint *core.CrashPoint
+	// CheckRecoveryIdempotency re-runs the full recovery pass after
+	// every crash recovery and flags a violation if the second pass
+	// found work to do or changed the observable state (§3.2.3).
+	CheckRecoveryIdempotency bool
+}
+
+// knobs resolves the effective knob set.
+func (c *Config) knobs() Knobs {
+	if c.Knobs == nil {
+		return DefaultKnobs()
+	}
+	return *c.Knobs
 }
 
 func (c *Config) fill() {
@@ -137,6 +222,12 @@ type Report struct {
 	Committed  int
 	Aborted    int
 	Unknown    int
+	// AbortKinds is the run's typed abort taxonomy (metrics delta over
+	// the whole run, keyed by reason name). Generated litmus programs
+	// only ever read and write preloaded variables, so every abort they
+	// provoke must carry a typed reason — "other" staying at zero is
+	// the taxonomy-completeness property.
+	AbortKinds map[string]uint64
 	Violations []Violation
 }
 
@@ -161,28 +252,27 @@ func (s txStatus) String() string {
 }
 
 // clusterConfig is the cluster shape one litmus test runs under. Kept
-// as a function so tests can pin its invariants — most importantly that
-// the validated read cache stays disabled: litmus observes the raw
-// protocol, and a cache hit skips the fabric read whose interleavings
-// the tests exist to expose.
+// as a function so tests can pin its invariants — most importantly the
+// default knob set: with nil Knobs litmus observes the raw protocol
+// (the validated read cache is disabled — a cache hit skips the fabric
+// read whose interleavings the tests exist to expose — and the
+// asynchronous commit-back stays off). The knob matrix opts specific
+// runs into the tuned paths; RunTest then flushes every live drain
+// queue before observing, because with AsyncCommitBack a commit ack
+// precedes the unlock and the observer would otherwise race pending
+// tails.
 func clusterConfig(t Test, cfg Config) pandora.Config {
+	k := cfg.knobs()
 	return pandora.Config{
 		ComputeNodes:        2,
 		CoordinatorsPerNode: (len(t.Txs)+1)/2 + 1,
 		Protocol:            cfg.Protocol,
 		SeedBugs:            cfg.Bugs,
-		// Litmus observes the raw protocol: the validated read cache
-		// would mask read-time interleavings (a hit skips the fabric),
-		// so it is disabled here.
-		ReadCacheSize: -1,
-		// Likewise the asynchronous commit-back stays off: litmus
-		// reasons about the commit point from the client's ack, and the
-		// serialization-window checks assume a commit that returns with
-		// its locks already released. The drain would also queue tails
-		// across iteration boundaries, blurring per-iteration blame.
-		AsyncCommitBack: false,
+		ReadCacheSize:       k.ReadCacheSize,
+		HotlockThreshold:    k.HotlockThreshold,
+		AsyncCommitBack:     k.AsyncCommitBack,
 		Tables: []pandora.TableSpec{
-			{Name: "litmus", ValueSize: 16, Capacity: cfg.Iterations*len(t.Vars) + 64},
+			{Name: "litmus", ValueSize: t.valueSize(), Capacity: cfg.Iterations*len(t.Vars) + 64},
 		},
 	}
 }
@@ -190,6 +280,7 @@ func clusterConfig(t Test, cfg Config) pandora.Config {
 // RunTest executes one litmus test under cfg and returns its report.
 func RunTest(t Test, cfg Config) (Report, error) {
 	cfg.fill()
+	knobs := cfg.knobs()
 	rep := Report{Test: t.Name, Iterations: cfg.Iterations}
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(len(t.Name))))
 
@@ -199,6 +290,7 @@ func RunTest(t Test, cfg Config) (Report, error) {
 		return rep, err
 	}
 	defer cluster.Close()
+	metBefore := cluster.MetricsSnapshot()
 
 	if t.Preloaded {
 		n := cfg.Iterations * varsPerIter
@@ -248,6 +340,9 @@ func RunTest(t Test, cfg Config) (Report, error) {
 		// iterations.
 		if rng.Float64() < cfg.CrashMidTx {
 			point := core.CrashPoint(rng.Intn(int(core.PointAfterTruncate) + 1))
+			if cfg.CrashPoint != nil {
+				point = *cfg.CrashPoint
+			}
 			var once sync.Once
 			fired := false
 			cluster.Engine(0).SetInjector(func(_ kvlayout.CoordID, p core.CrashPoint) bool {
@@ -299,6 +394,23 @@ func RunTest(t Test, cfg Config) (Report, error) {
 		close(start)
 		wg.Wait()
 
+		// With the async commit-back knob a commit ack precedes the
+		// truncate+unlock tail; flush every live node's drain queue so
+		// the observer below sees unlocked slots instead of racing
+		// pending tails. (Cross-node conflicters abort rather than
+		// flush, so the observer's retry loop alone would spin.) This
+		// runs BEFORE crash detection: an armed injector at a drain
+		// point (PointDrainStart, PointAfterTruncate, PointAfterUnlock)
+		// fires here, mid-flush, leaving exactly the abandoned-tail
+		// crash state the recovery block below must then handle.
+		if knobs.AsyncCommitBack {
+			for i := 0; i < cluster.ComputeNodes(); i++ {
+				if !cluster.Engine(i).Crashed() {
+					cluster.Engine(i).FlushDrains()
+				}
+			}
+		}
+
 		// Possibly crash the victim after the transactions ("inject
 		// crashes after any operation" includes after completion).
 		if !cluster.Engine(0).Crashed() && rng.Float64() < cfg.CrashAfterTxs {
@@ -312,6 +424,13 @@ func RunTest(t Test, cfg Config) (Report, error) {
 				return rep, fmt.Errorf("recovery failed: %w", err)
 			}
 			rep.Recoveries++
+			if cfg.CheckRecoveryIdempotency {
+				if v, err := checkRecoveryIdempotent(cluster, t, keyOf, iter); err != nil {
+					return rep, err
+				} else if v != nil {
+					rep.Violations = append(rep.Violations, *v)
+				}
+			}
 			if err := cluster.RestartCompute(0); err != nil {
 				return rep, fmt.Errorf("restart failed: %w", err)
 			}
@@ -354,14 +473,74 @@ func RunTest(t Test, cfg Config) (Report, error) {
 				Statuses:  statusStr,
 			})
 		}
+
+		// Cross-checking oracle: an explicit invariant over the observed
+		// state (e.g. bank conservation for transfer-only schedules).
+		if t.Invariant != nil {
+			if ierr := t.Invariant(observed); ierr != nil {
+				rep.Violations = append(rep.Violations, Violation{
+					Test:      t.Name,
+					Iteration: iter,
+					Kind:      "invariant",
+					Observed:  observed.key(),
+					Statuses:  ierr.Error(),
+				})
+			}
+		}
+	}
+
+	d := cluster.MetricsSnapshot().Sub(metBefore)
+	rep.AbortKinds = make(map[string]uint64, int(metrics.NumAbortReasons))
+	for r := metrics.AbortReason(0); r < metrics.NumAbortReasons; r++ {
+		if n := d.AbortCount(r); n > 0 {
+			rep.AbortKinds[r.String()] = n
+		}
 	}
 	return rep, nil
+}
+
+// checkRecoveryIdempotent re-runs the victim's recovery pass while the
+// node is still down and verifies §3.2.3 idempotence: the second pass
+// must find no work (no logged transactions, nothing rolled forward or
+// back, no stray locks) and must not change the observable state. A
+// non-nil Violation means the invariant broke; a non-nil error means
+// the probe itself could not run.
+func checkRecoveryIdempotent(cluster *pandora.Cluster, t Test, keyOf func(string) pandora.Key, iter int) (*Violation, error) {
+	before, err := observe(cluster, t, keyOf)
+	if err != nil {
+		return nil, fmt.Errorf("idempotency pre-observation failed: %w", err)
+	}
+	st, err := cluster.ReRecoverCompute(0)
+	if err != nil {
+		return nil, fmt.Errorf("second recovery pass failed: %w", err)
+	}
+	after, err := observe(cluster, t, keyOf)
+	if err != nil {
+		return nil, fmt.Errorf("idempotency post-observation failed: %w", err)
+	}
+	if st.LoggedTxs != 0 || st.RolledForward != 0 || st.RolledBack != 0 || st.StrayLocksFreed != 0 {
+		return &Violation{
+			Test: t.Name, Iteration: iter, Kind: "recovery-idempotency",
+			Observed: after.key(),
+			Statuses: fmt.Sprintf("second pass did work: logged=%d forward=%d back=%d stray=%d",
+				st.LoggedTxs, st.RolledForward, st.RolledBack, st.StrayLocksFreed),
+		}, nil
+	}
+	if before.key() != after.key() {
+		return &Violation{
+			Test: t.Name, Iteration: iter, Kind: "recovery-idempotency",
+			Observed: after.key(),
+			Statuses: fmt.Sprintf("state changed across second pass: {%s} -> {%s}", before.key(), after.key()),
+		}, nil
+	}
+	return nil, nil
 }
 
 // observe reads the test's variables in one read-only transaction from
 // the survivor node.
 func observe(cluster *pandora.Cluster, t Test, keyOf func(string) pandora.Key) (Model, error) {
 	sess := cluster.Session(1, 0)
+	var lastErr error
 	for attempt := 0; ; attempt++ {
 		m := make(Model)
 		tx := sess.Begin()
@@ -375,6 +554,7 @@ func observe(cluster *pandora.Cluster, t Test, keyOf func(string) pandora.Key) (
 				// absent
 			default:
 				ok = false
+				lastErr = err
 			}
 			if !ok {
 				break
@@ -383,12 +563,14 @@ func observe(cluster *pandora.Cluster, t Test, keyOf func(string) pandora.Key) (
 		if ok {
 			if err := tx.Commit(); err == nil {
 				return m, nil
+			} else {
+				lastErr = err
 			}
 		} else if !tx.Done() {
 			_ = tx.Abort()
 		}
 		if attempt > 100 {
-			return nil, errors.New("litmus: observer transaction cannot commit")
+			return nil, fmt.Errorf("litmus: observer transaction cannot commit: %v", lastErr)
 		}
 	}
 }

@@ -230,34 +230,74 @@ func TestModelKeyCanonical(t *testing.T) {
 	}
 }
 
-// TestClusterConfigPinsNoReadCache: litmus must run against the raw
-// fabric — a validated-read-cache hit serves reads compute-side and
-// would mask exactly the read-time interleavings the litmus tests
-// exist to expose. Every litmus cluster must pin ReadCacheSize = -1
-// (disabled), not 0 (default-sized).
-func TestClusterConfigPinsNoReadCache(t *testing.T) {
+// TestClusterConfigDefaultKnobs: with no knobs requested, litmus must
+// observe the raw protocol — a validated-read-cache hit serves reads
+// compute-side and would mask exactly the read-time interleavings the
+// tests exist to expose (ReadCacheSize must be -1, disabled, not 0,
+// default-sized), and the asynchronous commit-back must stay off
+// because the baseline runs reason about the commit point from an ack
+// that returns with its locks already released. Opting into the tuned
+// paths is explicit, via Config.Knobs and the KnobMatrix.
+func TestClusterConfigDefaultKnobs(t *testing.T) {
 	for _, lt := range All() {
 		cfg := Config{}
 		cfg.fill()
-		if got := clusterConfig(lt, cfg).ReadCacheSize; got != -1 {
-			t.Errorf("litmus %q: ReadCacheSize = %d, want -1 (cache disabled)", lt.Name, got)
+		cc := clusterConfig(lt, cfg)
+		if cc.ReadCacheSize != -1 {
+			t.Errorf("litmus %q: default ReadCacheSize = %d, want -1 (cache disabled)", lt.Name, cc.ReadCacheSize)
+		}
+		if cc.AsyncCommitBack {
+			t.Errorf("litmus %q: default AsyncCommitBack enabled, want the synchronous tail", lt.Name)
+		}
+		if cc.HotlockThreshold != 0 {
+			t.Errorf("litmus %q: default HotlockThreshold = %d, want 0 (adaptive default)", lt.Name, cc.HotlockThreshold)
 		}
 	}
 }
 
-// TestClusterConfigPinsSyncCommitBack: litmus must run with the
-// synchronous commit tail. The asynchronous commit-back (DESIGN.md §16)
-// returns from Commit with the locks still queued on the coordinator's
-// drain; litmus derives the serialization order from the ack, so an
-// async tail would let a later iteration observe a committed-but-locked
-// window and mis-blame the protocol. The knob must stay off regardless
-// of what a future Config field plumbs through.
-func TestClusterConfigPinsSyncCommitBack(t *testing.T) {
-	for _, lt := range All() {
-		cfg := Config{}
+// TestClusterConfigHonorsKnobs: a knob combination from the matrix
+// must reach the cluster config verbatim — the whole point of the
+// matrix is that the tuned paths (cache, ticket lanes, async drain)
+// get real litmus coverage.
+func TestClusterConfigHonorsKnobs(t *testing.T) {
+	for _, k := range KnobMatrix() {
+		k := k
+		cfg := Config{Knobs: &k}
 		cfg.fill()
-		if clusterConfig(lt, cfg).AsyncCommitBack {
-			t.Errorf("litmus %q: AsyncCommitBack enabled, want the synchronous tail", lt.Name)
+		cc := clusterConfig(Litmus1(), cfg)
+		if cc.ReadCacheSize != k.ReadCacheSize || cc.HotlockThreshold != k.HotlockThreshold || cc.AsyncCommitBack != k.AsyncCommitBack {
+			t.Errorf("knobs %s: cluster got cache=%d hot=%d async=%t", k, cc.ReadCacheSize, cc.HotlockThreshold, cc.AsyncCommitBack)
 		}
+	}
+}
+
+// TestFixedFamilyAcrossKnobMatrix runs the whole hand-written litmus
+// family under every tuned knob combination (the raw baseline is
+// covered by TestPandoraPassesAllLitmus). Before this, the read-cache,
+// ticket-lane, and async commit-back paths had zero litmus coverage —
+// they were pinned off.
+func TestFixedFamilyAcrossKnobMatrix(t *testing.T) {
+	for _, k := range KnobMatrix()[1:] {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			reps, err := RunAll(Config{
+				Protocol:   core.ProtocolPandora,
+				Iterations: 40,
+				Seed:       5,
+				Jitter:     true,
+				Knobs:      &k,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rep := range reps {
+				if len(rep.Violations) != 0 {
+					t.Errorf("%s: %d violations, e.g. %s", rep.Test, len(rep.Violations), rep.Violations[0])
+				}
+				if rep.Committed == 0 {
+					t.Errorf("%s: nothing committed", rep.Test)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,104 @@
+package proptest
+
+// Generator combinators and shrink helpers shared by the protocol test
+// harnesses. All of them draw exclusively from the *Rand they are
+// handed, preserving the package's determinism contract.
+
+// IntBetween returns a value in [lo, hi] inclusive.
+func IntBetween(r *Rand, lo, hi int) int {
+	if hi < lo {
+		panic("proptest: IntBetween with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// OneOf picks one of the choices uniformly.
+func OneOf[T any](r *Rand, choices ...T) T {
+	return choices[r.Intn(len(choices))]
+}
+
+// Chance returns true with probability p.
+func Chance(r *Rand, p float64) bool { return r.Float64() < p }
+
+// Weighted picks an index with probability proportional to its weight.
+func Weighted(r *Rand, weights ...int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := r.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	panic("proptest: unreachable")
+}
+
+// SliceOf builds a slice of minLen..maxLen elements drawn from elem.
+func SliceOf[T any](r *Rand, minLen, maxLen int, elem func(*Rand) T) []T {
+	n := IntBetween(r, minLen, maxLen)
+	out := make([]T, n)
+	for i := range out {
+		out[i] = elem(r)
+	}
+	return out
+}
+
+// ZipfIndex returns an index in [0, n) skewed toward 0: index i is
+// roughly twice as likely as index i+1. This is the hot-set generator —
+// variable 0 is the hot key.
+func ZipfIndex(r *Rand, n int) int {
+	for i := 0; i < n-1; i++ {
+		if r.Bool() {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// ShrinkSliceRemovals proposes reduced versions of xs: first the two
+// halves (when long enough for halving to make progress), then every
+// single-element removal. Aggressive candidates first keeps the
+// shrinker's step count logarithmic on large inputs.
+func ShrinkSliceRemovals[T any](xs []T) [][]T {
+	var out [][]T
+	if len(xs) >= 4 {
+		mid := len(xs) / 2
+		out = append(out, clip(xs[:mid]), clip(xs[mid:]))
+	}
+	if len(xs) >= 2 {
+		for i := range xs {
+			cand := make([]T, 0, len(xs)-1)
+			cand = append(cand, xs[:i]...)
+			cand = append(cand, xs[i+1:]...)
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// ShrinkInt proposes values between floor and v, halving the distance:
+// floor first, then midpoints approaching v.
+func ShrinkInt(v, floor int) []int {
+	if v <= floor {
+		return nil
+	}
+	var out []int
+	seen := map[int]bool{v: true}
+	for cand := floor; !seen[cand]; cand = cand + (v-cand+1)/2 {
+		out = append(out, cand)
+		seen[cand] = true
+	}
+	return out
+}
+
+// clip copies a subslice so shrink candidates never alias the parent's
+// backing array (a later mutation of one candidate must not corrupt
+// another).
+func clip[T any](xs []T) []T {
+	out := make([]T, len(xs))
+	copy(out, xs)
+	return out
+}

@@ -253,6 +253,10 @@ type Cluster struct {
 	reconfigHook func(reconfig.StepEvent) error
 	tableID      map[string]kvlayout.TableID
 	lastRec      map[rdma.NodeID]RecoveryStats
+	// lastEv remembers each node's most recent failure event so
+	// ReRecoverCompute can re-issue the identical recovery pass (the
+	// §3.2.3 idempotence probe test harnesses lean on).
+	lastEv map[rdma.NodeID]fdetect.Event
 	// recWake is closed and replaced (under mu) whenever a recovery
 	// record lands; waitRecovery blocks on it instead of polling.
 	recWake chan struct{}
@@ -277,6 +281,7 @@ func New(cfg Config) (*Cluster, error) {
 		met:     metrics.New(),
 		tableID: make(map[string]kvlayout.TableID),
 		lastRec: make(map[rdma.NodeID]RecoveryStats),
+		lastEv:  make(map[rdma.NodeID]fdetect.Event),
 		recWake: make(chan struct{}),
 	}
 	c.fab.SetMetrics(c.met)
@@ -420,6 +425,9 @@ func New(cfg Config) (*Cluster, error) {
 
 // onFailure is the FD subscription driving automatic recovery.
 func (c *Cluster) onFailure(ev fdetect.Event) {
+	c.mu.Lock()
+	c.lastEv[ev.Node] = ev
+	c.mu.Unlock()
 	switch ev.Kind {
 	case fdetect.Compute:
 		var stats RecoveryStats
